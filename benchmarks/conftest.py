@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks reproduce every table and figure of the paper on a reduced
+protocol (smaller dataset scale and fewer repetitions than the paper's ten)
+so that ``pytest benchmarks/ --benchmark-only`` completes in minutes.  The
+full-scale protocol is available through ``examples/paper_tables.py`` /
+``scripts/generate_experiment_results.py`` and its results are recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_surveillance_dataset
+
+#: Reduced-protocol constants shared by the accuracy benchmarks.
+BENCH_DATASET_SCALE = 0.1
+BENCH_REPETITIONS = 3
+BENCH_NEURONS = 40
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """Reduced-scale surveillance dataset shared by all accuracy benchmarks."""
+    return make_surveillance_dataset(scale=BENCH_DATASET_SCALE, seed=2010)

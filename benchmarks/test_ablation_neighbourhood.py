@@ -1,0 +1,69 @@
+"""Ablation: the shrinking neighbourhood schedule (section V-D).
+
+The hardware shrinks the neighbourhood radius from 4 to 1 in equal segments
+of the training run.  This ablation compares the paper's schedule against a
+constant radius of 1 (no coarse ordering phase), a constant radius of 4 (no
+refinement phase) and winner-only updates (radius 0, which the bSOM's
+erosion dynamics cannot tolerate -- a single neuron swallows the data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BinarySom, SomClassifier
+from repro.core.topology import ConstantNeighbourhoodSchedule, StepwiseNeighbourhoodSchedule
+
+SCHEDULES = {
+    "paper_stepwise_4_to_1": StepwiseNeighbourhoodSchedule(max_radius=4),
+    "constant_radius_1": ConstantNeighbourhoodSchedule(1),
+    "constant_radius_4": ConstantNeighbourhoodSchedule(4),
+    "winner_only": ConstantNeighbourhoodSchedule(0),
+}
+REPETITIONS = 3
+EPOCHS = 15
+
+
+def _mean_accuracy(dataset, schedule) -> float:
+    scores = []
+    for seed in range(REPETITIONS):
+        classifier = SomClassifier(
+            BinarySom(40, dataset.n_bits, seed=seed, schedule=schedule)
+        )
+        classifier.fit(
+            dataset.train_signatures, dataset.train_labels, epochs=EPOCHS, seed=seed + 31
+        )
+        scores.append(classifier.score(dataset.test_signatures, dataset.test_labels))
+    return float(np.mean(scores))
+
+
+@pytest.fixture(scope="module")
+def schedule_scores(bench_dataset):
+    return {name: _mean_accuracy(bench_dataset, schedule) for name, schedule in SCHEDULES.items()}
+
+
+def test_ablation_neighbourhood_reproduction(benchmark, bench_dataset):
+    score = benchmark.pedantic(
+        lambda: _mean_accuracy(bench_dataset, SCHEDULES["paper_stepwise_4_to_1"]),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0.0 <= score <= 1.0
+
+
+def test_paper_schedule_is_competitive(schedule_scores):
+    best = max(
+        score for name, score in schedule_scores.items() if name != "winner_only"
+    )
+    assert schedule_scores["paper_stepwise_4_to_1"] >= best - 0.05
+
+
+def test_winner_only_updates_collapse(schedule_scores):
+    """Without any neighbourhood the map collapses, far below the other variants."""
+    assert schedule_scores["winner_only"] < schedule_scores["paper_stepwise_4_to_1"] - 0.15
+
+
+def test_neighbourhood_needed_for_good_accuracy(schedule_scores):
+    for name in ("paper_stepwise_4_to_1", "constant_radius_1", "constant_radius_4"):
+        assert schedule_scores[name] > 0.5, name

@@ -1,0 +1,78 @@
+"""Ablation: the unknown-object rejection threshold (section III-B).
+
+"If the minimum Hamming distance exceeds a threshold value set during
+training, the object is classified as unknown."  This ablation sweeps the
+calibration percentile of that threshold and measures the two quantities it
+trades off: accuracy on known objects (false rejections hurt it) and the
+rejection rate on signatures from an object that was never trained on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BinarySom, SomClassifier, UNKNOWN_LABEL
+
+PERCENTILES = (80.0, 95.0, 99.0, 100.0)
+HELD_OUT_IDENTITY = 8
+EPOCHS = 12
+
+
+def _split_known_unknown(dataset):
+    known_train = dataset.train_labels != HELD_OUT_IDENTITY
+    known_test = dataset.test_labels != HELD_OUT_IDENTITY
+    unknown_test = dataset.test_signatures[dataset.test_labels == HELD_OUT_IDENTITY]
+    return (
+        dataset.train_signatures[known_train],
+        dataset.train_labels[known_train],
+        dataset.test_signatures[known_test],
+        dataset.test_labels[known_test],
+        unknown_test,
+    )
+
+
+def _evaluate(dataset, percentile: float) -> tuple[float, float]:
+    X_train, y_train, X_test, y_test, X_unknown = _split_known_unknown(dataset)
+    classifier = SomClassifier(
+        BinarySom(40, dataset.n_bits, seed=0), rejection_percentile=percentile
+    )
+    classifier.fit(X_train, y_train, epochs=EPOCHS, seed=1)
+    known_accuracy = classifier.score(X_test, y_test)
+    if X_unknown.shape[0]:
+        rejected = float(np.mean(classifier.predict(X_unknown) == UNKNOWN_LABEL))
+    else:
+        rejected = float("nan")
+    return known_accuracy, rejected
+
+
+@pytest.fixture(scope="module")
+def rejection_results(bench_dataset):
+    return {p: _evaluate(bench_dataset, p) for p in PERCENTILES}
+
+
+def test_ablation_rejection_reproduction(benchmark, bench_dataset):
+    known_accuracy, _ = benchmark.pedantic(
+        lambda: _evaluate(bench_dataset, 99.0), rounds=1, iterations=1
+    )
+    assert known_accuracy > 0.5
+
+
+def test_tight_threshold_rejects_more_unknowns(rejection_results):
+    """Lower calibration percentiles reject unseen objects at least as often."""
+    tight = rejection_results[PERCENTILES[0]][1]
+    loose = rejection_results[PERCENTILES[-1]][1]
+    if not (np.isnan(tight) or np.isnan(loose)):
+        assert tight >= loose
+
+
+def test_loose_threshold_preserves_known_accuracy(rejection_results):
+    """At the 100th percentile nothing from the training distribution is rejected,
+    so known-object accuracy is at its ceiling."""
+    accuracies = {p: acc for p, (acc, _) in rejection_results.items()}
+    assert accuracies[100.0] >= accuracies[80.0] - 0.02
+
+
+def test_rejection_is_a_real_tradeoff(rejection_results):
+    for percentile, (accuracy, _) in rejection_results.items():
+        assert accuracy > 0.45, percentile

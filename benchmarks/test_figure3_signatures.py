@@ -1,0 +1,50 @@
+"""Figure 3: per-object binary signatures over time.
+
+Figure 3 plots each training object's 768-bit signature frame by frame and
+makes two qualitative points: a person's signature is broadly consistent
+over time (horizontal banding in the plot) while still evolving from frame
+to frame, and different people produce visibly different signatures.  The
+benchmark regenerates the signature matrices from the synthetic dataset and
+checks both properties quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import run_figure3
+
+
+@pytest.fixture(scope="module")
+def figure3(bench_dataset):
+    return run_figure3(bench_dataset, identities=[0, 1, 2])
+
+
+def test_figure3_reproduction(benchmark, bench_dataset):
+    result = benchmark.pedantic(
+        lambda: run_figure3(bench_dataset, identities=[0, 1, 2]), rounds=1, iterations=1
+    )
+    assert set(result.signature_matrices) == {0, 1, 2}
+
+
+def test_figure3_within_object_consistency(figure3):
+    """Same-person signatures are much closer than different-person signatures."""
+    assert figure3.within_identity_distance < figure3.between_identity_distance
+    assert figure3.between_identity_distance > 1.3 * figure3.within_identity_distance
+
+
+def test_figure3_signatures_evolve_over_time(figure3):
+    """Consecutive frames of the same person are similar but not identical."""
+    for matrix in figure3.signature_matrices.values():
+        if matrix.shape[0] < 3:
+            continue
+        consecutive = np.count_nonzero(matrix[:-1] != matrix[1:], axis=1)
+        assert consecutive.mean() > 0          # the signature evolves...
+        assert consecutive.mean() < matrix.shape[1] / 4   # ...but stays consistent
+
+
+def test_figure3_matrices_have_full_signature_width(figure3):
+    for matrix in figure3.signature_matrices.values():
+        assert matrix.shape[1] == 768
+        assert set(np.unique(matrix)).issubset({0, 1})

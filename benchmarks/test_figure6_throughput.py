@@ -1,0 +1,83 @@
+"""Figure 6 / section V-F: end-to-end recognition and the throughput claims.
+
+The paper's deployment numbers: the design is clocked at 40 MHz, can train
+with up to 25,000 patterns of 768 bits per second after initialisation, can
+recognise far more signatures per second than the 30 fps tracker supplies,
+trains several thousand patterns in under a second, and the deployed
+recognition error is below 15.97% (Table I's best bSOM row).
+
+The benchmark checks the analytic throughput model against those claims,
+verifies the cycle-accurate simulation agrees with the analytic model, and
+runs the figure-6 deployment flow (train off-line in software, load the
+weights into the FPGA model, identify held-out signatures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BinarySom, SomClassifier
+from repro.hw import FpgaBsomConfig, FpgaBsomDesign, ThroughputModel
+from repro.hw.throughput import CAMERA_FPS, PAPER_PATTERNS_PER_SECOND, paper_throughput_report
+
+
+def test_figure6_reproduction(benchmark, bench_dataset):
+    """The figure-6 flow: off-line training, FPGA deployment, live identification."""
+    data = bench_dataset
+
+    def deploy_and_identify():
+        classifier = SomClassifier(BinarySom(40, data.n_bits, seed=0))
+        classifier.fit(data.train_signatures, data.train_labels, epochs=10, seed=1)
+        design = FpgaBsomDesign(FpgaBsomConfig(seed=0))
+        design.load_weights(classifier.som)
+        node_labels = classifier.labelling.node_labels
+        predictions = []
+        cycles = 0
+        for signature in data.test_signatures:
+            trace = design.present(signature)
+            predictions.append(node_labels[trace.winner])
+            cycles += trace.total_cycles
+        return np.array(predictions), cycles
+
+    predictions, cycles = benchmark.pedantic(deploy_and_identify, rounds=1, iterations=1)
+    accuracy = float((predictions == data.test_labels).mean())
+    # Paper: "less than 15.97% error"; the reduced synthetic protocol is noisier,
+    # so the assertion uses a wider band while staying clearly above chance (1/9).
+    assert accuracy > 0.6
+    # Simulated wall-clock time for the whole test set at 40 MHz.
+    seconds = cycles / 40e6
+    assert seconds < 0.1
+
+
+def test_figure6_training_throughput_matches_paper():
+    report = paper_throughput_report()
+    assert report.training_patterns_per_second == pytest.approx(
+        PAPER_PATTERNS_PER_SECOND, rel=0.08
+    )
+    assert report.seconds_to_train[2_248] < 1.0
+    assert report.seconds_to_train[25_000] <= 1.05
+
+
+def test_figure6_recognition_outpaces_tracker():
+    report = paper_throughput_report()
+    # Five objects per frame at 30 fps is 150 signatures/second; the FPGA path
+    # handles tens of thousands.
+    assert report.recognitions_per_second > 300 * CAMERA_FPS
+
+
+def test_figure6_simulation_agrees_with_analytic_model():
+    rng = np.random.default_rng(0)
+    design = FpgaBsomDesign(FpgaBsomConfig(seed=0))
+    design.initialise()
+    model = ThroughputModel()
+    pattern = rng.integers(0, 2, 768).astype(np.uint8)
+    assert design.present(pattern).total_cycles == model.cycles_per_recognition()
+    assert design.train_pattern(pattern, 0, 10).total_cycles == model.cycles_per_training_pattern()
+
+
+def test_figure6_throughput_scales_with_clock(benchmark):
+    report = benchmark(ThroughputModel(FpgaBsomConfig(clock_mhz=80.0)).report)
+    assert report.training_patterns_per_second == pytest.approx(
+        2 * PAPER_PATTERNS_PER_SECOND, rel=0.08
+    )

@@ -1,0 +1,49 @@
+"""Section IV neuron sweep: recognition accuracy vs map size.
+
+The paper tests map sizes from 10 to 100 neurons in steps of 10 and reports
+that (i) nine neurons is the logical minimum for nine objects but 40 are
+needed for good performance, (ii) with more than 50 neurons both SOMs exceed
+90% recognition, and (iii) large maps leave some neurons unused.  The
+benchmark sweeps a reduced grid and checks those three observations in
+relaxed form.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import run_neuron_sweep
+from repro.eval.experiments import NeuronSweepConfig
+
+BENCH_COUNTS = (10, 40, 80)
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(bench_dataset):
+    config = NeuronSweepConfig(neuron_counts=BENCH_COUNTS, repetitions=2, epochs=20)
+    return run_neuron_sweep(bench_dataset, config)
+
+
+def test_neuron_sweep_reproduction(benchmark, bench_dataset):
+    config = NeuronSweepConfig(neuron_counts=(10,), repetitions=1, epochs=10)
+    rows = benchmark.pedantic(
+        lambda: run_neuron_sweep(bench_dataset, config), rounds=1, iterations=1
+    )
+    assert len(rows) == 1
+
+
+def test_neuron_sweep_accuracy_improves_with_map_size(sweep_rows):
+    by_size = {row.n_neurons: row for row in sweep_rows}
+    assert by_size[80].bsom_accuracy >= by_size[10].bsom_accuracy - 0.02
+    assert by_size[40].bsom_accuracy > 0.6
+
+
+def test_neuron_sweep_large_maps_leave_neurons_unused(sweep_rows):
+    largest = max(sweep_rows, key=lambda row: row.n_neurons)
+    assert largest.bsom_used_neurons < largest.n_neurons
+    assert largest.csom_used_neurons <= largest.n_neurons
+
+
+def test_neuron_sweep_small_map_uses_most_neurons(sweep_rows):
+    smallest = min(sweep_rows, key=lambda row: row.n_neurons)
+    assert smallest.bsom_used_neurons >= 0.5 * smallest.n_neurons

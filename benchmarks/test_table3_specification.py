@@ -1,0 +1,48 @@
+"""Table III: specification of the bSOM as implemented on FPGA.
+
+Table III is a configuration table (40 neurons, 768-bit input and neuron
+vectors, random initial weights, maximum neighbourhood of 4).  The benchmark
+instantiates the cycle-accurate design with its defaults, times construction
+plus weight initialisation, and checks the exported specification matches
+the paper's table verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.hw import FpgaBsomConfig, FpgaBsomDesign
+
+
+def _build_and_initialise():
+    design = FpgaBsomDesign(FpgaBsomConfig(seed=0))
+    design.initialise()
+    return design
+
+
+def test_table3_reproduction(benchmark):
+    design = benchmark(_build_and_initialise)
+    spec = design.specification()
+    assert spec["network_size"] == "40 neurons"
+    assert spec["input_vectors"] == "768 bits"
+    assert spec["neuron_vectors"] == "768 bits"
+    assert spec["initial_weights"] == "Random"
+    assert spec["maximum_neighbourhood"] == "4 neurons"
+
+
+def test_table3_initialisation_cycles(benchmark):
+    """Weight initialisation takes exactly one cycle per weight bit (768)."""
+    def initialise_cycles():
+        design = FpgaBsomDesign(FpgaBsomConfig(seed=1))
+        return design.initialise()
+
+    cycles = benchmark(initialise_cycles)
+    assert cycles == 768
+
+
+def test_table3_random_initialisation_is_balanced():
+    """'Random' initial weights: roughly half the bits are set, none are '#'."""
+    design = FpgaBsomDesign(FpgaBsomConfig(seed=2))
+    design.initialise()
+    weights = design.export_weights()
+    assert weights.dont_care_fraction() == 0.0
+    density = weights.values.mean()
+    assert 0.45 < density < 0.55

@@ -1,0 +1,51 @@
+"""Table IV: FPGA resource utilisation on the Virtex-4 XC4VLX160.
+
+Paper numbers (post-synthesis, package FF1148, speed grade -10):
+
+    flip-flops 4,095 (3%), 4-input LUTs 18,387 (13%), bonded IOBs 147 (19%),
+    occupied slices 11,468 (16%), RAM16s 43 (14%).
+
+The analytic resource model is calibrated once on this reference design;
+the benchmark checks each row lands within 10% of the paper's figure and
+that the utilisation percentages round to the same integers the paper
+prints, then exercises the scaling questions the model exists to answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import FpgaBsomConfig, estimate_resources
+from repro.hw.device import VIRTEX4_XC4VLX200, VIRTEX4_XC4VLX25
+from repro.hw.resources import PAPER_TABLE4
+
+
+def test_table4_reproduction(benchmark):
+    report = benchmark(estimate_resources)
+    utilisation = report.utilisation()
+    for resource, paper_row in PAPER_TABLE4.items():
+        assert utilisation[resource]["total"] == paper_row["total"]
+        assert utilisation[resource]["used"] == pytest.approx(paper_row["used"], rel=0.10)
+        assert round(utilisation[resource]["percent"]) == pytest.approx(
+            paper_row["percent"], abs=1
+        )
+
+
+def test_table4_design_fits_reference_device():
+    assert estimate_resources().fits()
+
+
+def test_table4_scaling_with_network_size():
+    """Doubling the number of neurons must not double total utilisation blindly
+    -- storage and Hamming logic scale linearly, infrastructure does not."""
+    reference = estimate_resources(FpgaBsomConfig(n_neurons=40)).total
+    doubled = estimate_resources(FpgaBsomConfig(n_neurons=80)).total
+    assert doubled.luts > reference.luts
+    assert doubled.luts < 2.5 * reference.luts
+    assert doubled.ram16s >= reference.ram16s
+
+
+def test_table4_smaller_and_larger_devices():
+    """The reference design overflows an XC4VLX25 but fits an XC4VLX200."""
+    assert not estimate_resources(device=VIRTEX4_XC4VLX25).fits()
+    assert estimate_resources(device=VIRTEX4_XC4VLX200).fits()

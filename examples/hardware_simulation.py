@@ -1,0 +1,89 @@
+"""The FPGA architecture: cycle-accurate simulation, resources and throughput.
+
+Reproduces the hardware side of the paper (section V): Table III's design
+specification, the block cycle counts of figures 4/5, Table IV's resource
+utilisation on the Virtex-4 XC4VLX160, and the 25,000-patterns-per-second
+throughput claim -- then runs the deployment flow of figure 6 (train
+off-line, load weights into BlockRAM, recognise in real time) and checks the
+hardware model agrees with the software bSOM signature by signature.
+
+Run with::
+
+    python examples/hardware_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BinarySom, SomClassifier
+from repro.datasets import make_surveillance_dataset
+from repro.eval import format_table
+from repro.hw import FpgaBsomConfig, FpgaBsomDesign, ThroughputModel, estimate_resources
+from repro.hw.resources import PAPER_TABLE4
+
+
+def main() -> None:
+    design = FpgaBsomDesign(FpgaBsomConfig(seed=0))
+
+    print("=== Table III: design specification ===")
+    for key, value in design.specification().items():
+        print(f"  {key:24s} {value}")
+
+    print("\n=== Block cycle counts (figures 4 and 5) ===")
+    init_cycles = design.initialise()
+    pattern = np.random.default_rng(0).integers(0, 2, 768).astype(np.uint8)
+    recognition = design.present(pattern)
+    training = design.train_pattern(pattern, 0, 100)
+    print(f"  weight initialisation : {init_cycles} cycles")
+    print(f"  pattern input         : {recognition.input_cycles} cycles")
+    print(f"  Hamming unit (40 par.): {recognition.hamming_cycles} cycles")
+    print(f"  WTA comparator tree   : {recognition.wta_cycles} cycles")
+    print(f"  neighbourhood update  : {training.update_cycles} cycles")
+
+    print("\n=== Table IV: resource utilisation on XC4VLX160 ===")
+    report = estimate_resources()
+    rows = []
+    for name, row in report.utilisation().items():
+        paper = PAPER_TABLE4[name]
+        rows.append([
+            name, int(row["total"]), int(row["used"]), f"{row['percent']:.0f}%",
+            paper["used"], f"{paper['percent']}%",
+        ])
+    print(format_table(
+        ["resource", "total", "used (model)", "util (model)", "used (paper)", "util (paper)"],
+        rows,
+    ))
+
+    print("\n=== Throughput at 40 MHz (section V-E/F) ===")
+    throughput = ThroughputModel().report()
+    print(f"  training patterns / second : {throughput.training_patterns_per_second:,.0f} "
+          f"(paper: up to 25,000)")
+    print(f"  recognitions / second      : {throughput.recognitions_per_second:,.0f}")
+    print(f"  train 2,248 signatures in  : {throughput.seconds_to_train[2248] * 1e3:.1f} ms")
+    print(f"  margin over 30 fps camera  : {throughput.realtime_margin:,.0f}x")
+
+    print("\n=== Figure 6: deploy a software-trained map onto the FPGA model ===")
+    dataset = make_surveillance_dataset(scale=0.1, seed=2010)
+    classifier = SomClassifier(BinarySom(40, dataset.n_bits, seed=0))
+    classifier.fit(dataset.train_signatures, dataset.train_labels, epochs=15, seed=1)
+    design.load_weights(classifier.som)
+    node_labels = classifier.labelling.node_labels
+
+    software = classifier.predict(dataset.test_signatures)
+    hardware, cycles = [], 0
+    for signature in dataset.test_signatures:
+        trace = design.present(signature)
+        hardware.append(node_labels[trace.winner])
+        cycles += trace.total_cycles
+    hardware = np.array(hardware)
+    agreement = float((hardware == software).mean())
+    accuracy = float((hardware == dataset.test_labels).mean())
+    print(f"  hardware/software agreement : {agreement:.2%} over {len(hardware)} signatures")
+    print(f"  hardware recognition accuracy: {accuracy:.2%}")
+    print(f"  simulated FPGA time          : {cycles / 40e6 * 1e3:.2f} ms "
+          f"({cycles:,} cycles at 40 MHz)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""On-line learning and automatic labelling (the paper's future-work section).
+
+The paper closes by sketching how the system would discover objects it was
+never trained on: the bSOM's novelty detection flags signatures that match
+the map poorly, positional tracking accumulates those signatures per track,
+and once enough evidence exists the map is updated on-line and the new
+object receives its own label.
+
+This example trains on eight of the nine people, streams the ninth person's
+signatures through the :class:`~repro.pipeline.online.OnlineLearner` and
+shows the new identity being created and subsequently recognised.
+
+Run with::
+
+    python examples/online_learning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BinarySom, SomClassifier, UNKNOWN_LABEL
+from repro.datasets import make_surveillance_dataset
+from repro.pipeline import OnlineLearner, OnlineLearnerConfig
+
+
+def main() -> None:
+    dataset = make_surveillance_dataset(scale=0.15, seed=2010)
+    held_out = 8
+    known = dataset.train_labels != held_out
+    X_known, y_known = dataset.train_signatures[known], dataset.train_labels[known]
+    X_new = dataset.train_signatures[dataset.train_labels == held_out]
+    print(f"training on {X_known.shape[0]} signatures of 8 known people; "
+          f"person {held_out} ({X_new.shape[0]} signatures) is unseen")
+
+    classifier = SomClassifier(
+        BinarySom(40, dataset.n_bits, seed=0),
+        rejection_percentile=98.0,
+        rejection_margin=1.05,
+    )
+    classifier.fit(X_known, y_known, epochs=15, seed=1)
+    known_mask = dataset.test_labels != held_out
+    print(f"accuracy on known people before on-line learning: "
+          f"{classifier.score(dataset.test_signatures[known_mask], dataset.test_labels[known_mask]):.2%}")
+
+    learner = OnlineLearner(
+        classifier, X_known, y_known,
+        OnlineLearnerConfig(min_signatures=15, online_epochs=3),
+    )
+
+    print("\nstreaming the unseen person's signatures (track 42)...")
+    decisions = []
+    for i, signature in enumerate(X_new):
+        decision = learner.observe(track_id=42, signature=signature)
+        decisions.append(decision)
+        if learner.updates and learner.updates[-1].signatures_used and decision != UNKNOWN_LABEL and i < 60:
+            pass
+    new_labels = sorted({d for d in decisions if d not in set(y_known.tolist()) and d != UNKNOWN_LABEL})
+    print(f"decisions while accumulating evidence: "
+          f"{decisions[:20]} ...")
+    if learner.updates:
+        update = learner.updates[0]
+        print(f"\non-line update fired: new label {update.new_label} created from "
+              f"{update.signatures_used} signatures, {update.neurons_relabelled} neurons relabelled")
+    else:
+        print("\nno on-line update fired (the unseen person matched an existing cluster)")
+
+    # How are the unseen person's *test* signatures classified now?
+    X_new_test = dataset.test_signatures[dataset.test_labels == held_out]
+    if learner.updates and X_new_test.shape[0]:
+        new_label = learner.updates[0].new_label
+        predictions = np.array([learner.observe(track_id=43, signature=x) for x in X_new_test])
+        recognised = float((predictions == new_label).mean())
+        print(f"fraction of the new person's test signatures now assigned the new label: "
+              f"{recognised:.2%}")
+    known_after = classifier.score(
+        dataset.test_signatures[known_mask], dataset.test_labels[known_mask]
+    )
+    print(f"accuracy on the original eight people after on-line learning: {known_after:.2%}")
+
+
+if __name__ == "__main__":
+    main()

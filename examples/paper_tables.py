@@ -1,0 +1,94 @@
+"""Reproduce the paper's Tables I and II (and the neuron sweep) at any scale.
+
+By default this runs a medium protocol (scale 0.2 of the paper's signature
+counts, 4 repetitions, 8 iteration counts) and prints the tables next to the
+paper's published numbers.  ``--paper-scale`` runs the full protocol
+(2,248/1,139 signatures, 10 repetitions, all 14 iteration counts) -- expect
+it to take a few hours of CPU time.
+
+Run with::
+
+    python examples/paper_tables.py
+    python examples/paper_tables.py --paper-scale
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets import make_surveillance_dataset
+from repro.eval import format_table, run_neuron_sweep, run_table1, run_table2
+from repro.eval.experiments import NeuronSweepConfig, PAPER_ITERATIONS, Table1Config
+
+PAPER_TABLE1 = {
+    10: (81.84, 84.41), 20: (83.06, 84.56), 30: (84.50, 84.85), 40: (84.05, 84.05),
+    50: (83.98, 85.03), 60: (84.70, 85.91), 70: (85.03, 85.74), 80: (85.01, 84.58),
+    90: (85.20, 84.40), 100: (85.15, 84.58), 200: (84.68, 86.44), 300: (86.71, 84.23),
+    400: (87.33, 86.05), 500: (87.42, 86.89),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="run the full 2,248/1,139-signature, 10-repetition protocol")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--reps", type=int, default=4)
+    args = parser.parse_args()
+
+    if args.paper_scale:
+        scale, reps, iterations = 1.0, 10, PAPER_ITERATIONS
+    else:
+        scale, reps, iterations = args.scale, args.reps, (10, 20, 30, 50, 70, 100, 200, 400)
+
+    print(f"building dataset (scale={scale}) ...")
+    dataset = make_surveillance_dataset(scale=scale, seed=2010)
+    print(dataset.summary())
+
+    print(f"\nrunning Table I ({len(iterations)} iteration counts x {reps} repetitions x 2 SOMs)...")
+    table1 = run_table1(dataset, Table1Config(iterations=iterations, repetitions=reps))
+
+    rows = []
+    for row in table1.rows:
+        paper_csom, paper_bsom = PAPER_TABLE1.get(row.iterations, (None, None))
+        rows.append([
+            row.iterations,
+            f"{row.csom_mean:.2%}", f"{row.bsom_mean:.2%}",
+            f"{paper_csom:.2f}%" if paper_csom else "-",
+            f"{paper_bsom:.2f}%" if paper_bsom else "-",
+        ])
+    print("\nTable I -- average recognition accuracy")
+    print(format_table(
+        ["iterations", "cSOM (ours)", "bSOM (ours)", "cSOM (paper)", "bSOM (paper)"], rows
+    ))
+
+    print("\nTable II -- one-tailed Wilcoxon rank-sum tests (5% significance)")
+    table2 = run_table2(table1)
+    rows2 = [
+        [r.iterations, f"{r.csom_mean_rank:.2f}", f"{r.bsom_mean_rank:.2f}",
+         f"{r.z:.2f}", f"{r.p_value:.4f}",
+         {"<": "cSOM better", ">": "bSOM better", "-": "no significant difference"}[r.symbol]]
+        for r in table2
+    ]
+    print(format_table(
+        ["iterations", "cSOM mean rank", "bSOM mean rank", "z", "p", "verdict"], rows2
+    ))
+
+    print("\nNeuron sweep (section IV) -- accuracy and used neurons vs map size")
+    sweep = run_neuron_sweep(
+        dataset,
+        NeuronSweepConfig(neuron_counts=tuple(range(10, 101, 10)),
+                          repetitions=2, epochs=30, dataset_scale=scale),
+    )
+    sweep_rows = [
+        [r.n_neurons, f"{r.bsom_accuracy:.2%}", f"{r.csom_accuracy:.2%}",
+         f"{r.bsom_used_neurons:.1f}", f"{r.csom_used_neurons:.1f}"]
+        for r in sweep
+    ]
+    print(format_table(
+        ["neurons", "bSOM accuracy", "cSOM accuracy", "bSOM used", "cSOM used"], sweep_rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Figure 3: binary signatures of individual objects over time.
+
+Renders, as ASCII, the per-frame 768-bit signatures of three of the nine
+synthetic people (each row is one frame, downsampled to fit a terminal) and
+prints the consistency statistics behind the figure: signatures of the same
+person are far closer in Hamming distance than signatures of different
+people, which is exactly what makes the bSOM identification work.
+
+Run with::
+
+    python examples/signature_gallery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import make_surveillance_dataset
+from repro.eval import run_figure3
+
+
+def render_signature_rows(matrix: np.ndarray, columns: int = 96, rows: int = 12) -> str:
+    """Downsample a (time, bits) signature matrix to an ASCII block."""
+    if matrix.shape[0] == 0:
+        return "(no signatures)"
+    row_idx = np.linspace(0, matrix.shape[0] - 1, min(rows, matrix.shape[0])).astype(int)
+    col_idx = np.linspace(0, matrix.shape[1] - 1, columns).astype(int)
+    lines = []
+    for r in row_idx:
+        line = "".join("#" if matrix[r, c] else "." for c in col_idx)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    dataset = make_surveillance_dataset(scale=0.15, seed=2010)
+    result = run_figure3(dataset, identities=[0, 1, 2])
+
+    for identity in result.identities:
+        matrix = result.signature_matrices[identity]
+        print(f"=== person {identity}: {matrix.shape[0]} signatures over time "
+              f"(rows = time, columns = histogram bins, downsampled) ===")
+        print(render_signature_rows(matrix))
+        bits_set = matrix.sum(axis=1)
+        print(f"bits set per signature: mean {bits_set.mean():.0f}, "
+              f"min {bits_set.min()}, max {bits_set.max()}\n")
+
+    print("=== Consistency statistics (the point of figure 3) ===")
+    print(f"mean Hamming distance within an identity : {result.within_identity_distance:.1f} bits")
+    print(f"mean Hamming distance between identities : {result.between_identity_distance:.1f} bits")
+    ratio = result.between_identity_distance / max(result.within_identity_distance, 1e-9)
+    print(f"separation ratio                          : {ratio:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

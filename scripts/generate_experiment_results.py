@@ -1,0 +1,172 @@
+"""Generate the EXPERIMENTS.md result tables.
+
+Runs a medium-scale version of every experiment in the paper (the scale and
+repetition counts are recorded in the output) and writes the results as JSON
+and markdown fragments under ``results/``.
+
+Usage::
+
+    python scripts/generate_experiment_results.py [--scale 0.2] [--reps 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import make_surveillance_dataset
+from repro.eval import format_markdown_table, run_figure3, run_neuron_sweep, run_table1, run_table2
+from repro.eval.experiments import NeuronSweepConfig, Table1Config
+from repro.hw import FpgaBsomConfig, FpgaBsomDesign, estimate_resources
+from repro.hw.resources import PAPER_TABLE4
+from repro.hw.throughput import paper_throughput_report
+
+PAPER_TABLE1 = {
+    10: (81.84, 84.41), 20: (83.06, 84.56), 30: (84.50, 84.85), 40: (84.05, 84.05),
+    50: (83.98, 85.03), 60: (84.70, 85.91), 70: (85.03, 85.74), 80: (85.01, 84.58),
+    90: (85.20, 84.40), 100: (85.15, 84.58), 200: (84.68, 86.44), 300: (86.71, 84.23),
+    400: (87.33, 86.05), 500: (87.42, 86.89),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--reps", type=int, default=4)
+    parser.add_argument(
+        "--iterations", type=int, nargs="+",
+        default=[10, 20, 30, 50, 70, 100, 200, 400],
+    )
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    args = parser.parse_args()
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    started = time.time()
+    print(f"[1/6] building dataset (scale={args.scale})", flush=True)
+    dataset = make_surveillance_dataset(scale=args.scale, seed=2010)
+    summary = dataset.summary()
+    print("      ", summary, flush=True)
+
+    print("[2/6] Table I", flush=True)
+    table1 = run_table1(
+        dataset,
+        Table1Config(
+            iterations=tuple(args.iterations),
+            repetitions=args.reps,
+            dataset_scale=args.scale,
+        ),
+    )
+    rows1 = []
+    for row in table1.rows:
+        paper = PAPER_TABLE1.get(row.iterations, (None, None))
+        rows1.append([
+            row.iterations,
+            f"{100 * row.csom_mean:.2f}%",
+            f"{100 * row.bsom_mean:.2f}%",
+            f"{paper[0]:.2f}%" if paper[0] else "-",
+            f"{paper[1]:.2f}%" if paper[1] else "-",
+        ])
+        print(f"       iter={row.iterations:4d} cSOM={row.csom_mean:.4f} bSOM={row.bsom_mean:.4f}", flush=True)
+    table1_md = format_markdown_table(
+        ["Iterations", "cSOM (ours)", "bSOM (ours)", "cSOM (paper)", "bSOM (paper)"], rows1
+    )
+
+    print("[3/6] Table II", flush=True)
+    table2 = run_table2(table1)
+    rows2 = [
+        [r.iterations, f"{r.csom_mean_rank:.2f}", f"{r.bsom_mean_rank:.2f}",
+         f"{r.z:.2f}", f"{r.p_value:.4f}", r.symbol]
+        for r in table2
+    ]
+    table2_md = format_markdown_table(
+        ["Iterations", "cSOM mean rank", "bSOM mean rank", "z", "p", "verdict"], rows2
+    )
+
+    print("[4/6] neuron sweep", flush=True)
+    sweep = run_neuron_sweep(
+        dataset,
+        NeuronSweepConfig(neuron_counts=tuple(range(10, 101, 10)), repetitions=2, epochs=30,
+                          dataset_scale=args.scale),
+    )
+    sweep_rows = [
+        [r.n_neurons, f"{100 * r.bsom_accuracy:.2f}%", f"{100 * r.csom_accuracy:.2f}%",
+         f"{r.bsom_used_neurons:.1f}", f"{r.csom_used_neurons:.1f}"]
+        for r in sweep
+    ]
+    sweep_md = format_markdown_table(
+        ["Neurons", "bSOM accuracy", "cSOM accuracy", "bSOM used", "cSOM used"], sweep_rows
+    )
+    for r in sweep:
+        print(f"       n={r.n_neurons:3d} bSOM={r.bsom_accuracy:.4f} cSOM={r.csom_accuracy:.4f}", flush=True)
+
+    print("[5/6] figure 3 statistics", flush=True)
+    figure3 = run_figure3(dataset, identities=[0, 1, 2])
+
+    print("[6/6] hardware tables", flush=True)
+    design = FpgaBsomDesign(FpgaBsomConfig(seed=0))
+    resources = estimate_resources().utilisation()
+    resource_rows = [
+        [name, int(row["total"]), int(row["used"]), f"{row['percent']:.0f}%",
+         PAPER_TABLE4[name]["used"], f"{PAPER_TABLE4[name]['percent']}%"]
+        for name, row in resources.items()
+    ]
+    resources_md = format_markdown_table(
+        ["Resource", "Total", "Used (model)", "Util (model)", "Used (paper)", "Util (paper)"],
+        resource_rows,
+    )
+    throughput = paper_throughput_report()
+
+    results = {
+        "generated_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "elapsed_seconds": round(time.time() - started, 1),
+        "dataset": {"scale": args.scale, **summary},
+        "table1": {
+            "config": {"iterations": list(args.iterations), "repetitions": args.reps,
+                       "n_neurons": 40},
+            "rows": [
+                {"iterations": r.iterations, "csom_mean": r.csom_mean, "bsom_mean": r.bsom_mean,
+                 "csom_std": r.csom_std, "bsom_std": r.bsom_std,
+                 "csom_scores": list(r.csom_scores), "bsom_scores": list(r.bsom_scores)}
+                for r in table1.rows
+            ],
+        },
+        "table2": [
+            {"iterations": r.iterations, "csom_mean_rank": r.csom_mean_rank,
+             "bsom_mean_rank": r.bsom_mean_rank, "z": r.z, "p_value": r.p_value,
+             "symbol": r.symbol}
+            for r in table2
+        ],
+        "neuron_sweep": [
+            {"n_neurons": r.n_neurons, "bsom_accuracy": r.bsom_accuracy,
+             "csom_accuracy": r.csom_accuracy, "bsom_used": r.bsom_used_neurons,
+             "csom_used": r.csom_used_neurons}
+            for r in sweep
+        ],
+        "figure3": {
+            "within_identity_distance": figure3.within_identity_distance,
+            "between_identity_distance": figure3.between_identity_distance,
+        },
+        "table3": design.specification(),
+        "table4": resources,
+        "throughput": {
+            "training_patterns_per_second": throughput.training_patterns_per_second,
+            "recognitions_per_second": throughput.recognitions_per_second,
+            "cycles_per_training_pattern": throughput.cycles_per_training_pattern,
+            "seconds_to_train": throughput.seconds_to_train,
+            "realtime_margin": throughput.realtime_margin,
+        },
+    }
+    (args.out / "experiments.json").write_text(json.dumps(results, indent=2))
+    (args.out / "table1.md").write_text(table1_md + "\n")
+    (args.out / "table2.md").write_text(table2_md + "\n")
+    (args.out / "neuron_sweep.md").write_text(sweep_md + "\n")
+    (args.out / "table4.md").write_text(resources_md + "\n")
+    print(f"done in {time.time() - started:.0f}s -> {args.out}/", flush=True)
+
+
+if __name__ == "__main__":
+    main()

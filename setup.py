@@ -1,0 +1,8 @@
+"""Setuptools shim so `pip install -e .` works without network access.
+
+All project metadata lives in pyproject.toml; this file only exists because
+the build environment has no index access for PEP 517 build isolation.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro -- Binary object recognition with a tri-state binary SOM (bSOM).
+
+A from-scratch Python reproduction of *"Binary Object Recognition System on
+FPGA with bSOM"* (Appiah, Hunter, Dickinson, Meng -- SOCC 2010).
+
+The library is organised in layers that mirror the paper's figure 1:
+
+* :mod:`repro.vision` -- the CPU-side substrate: synthetic surveillance
+  video, background differencing, connected-components labelling and a
+  frame-to-frame object tracker,
+* :mod:`repro.signatures` -- 768-bin colour histograms and their
+  mean-threshold binarisation into 768-bit binary signatures,
+* :mod:`repro.core` -- the tri-state binary SOM (bSOM), the Kohonen SOM
+  baseline (cSOM), node labelling, classification and novelty detection,
+* :mod:`repro.hw` -- a cycle-accurate behavioural model of the paper's FPGA
+  architecture (Virtex-4 XC4VLX160) with a resource and throughput model,
+* :mod:`repro.datasets` -- paper-scale dataset construction (nine
+  identities, ~2,248 training / ~1,139 test signatures),
+* :mod:`repro.eval` -- metrics, the Wilcoxon rank-sum analysis of Table II
+  and runnable reproductions of every table and figure,
+* :mod:`repro.pipeline` -- the end-to-end identification system and the
+  on-line learning extension sketched in the paper's conclusion.
+
+Quick start
+-----------
+>>> from repro.datasets import make_surveillance_dataset
+>>> from repro.core import BinarySom, SomClassifier
+>>> data = make_surveillance_dataset(scale=0.1, seed=0)
+>>> clf = SomClassifier(BinarySom(40, data.n_bits, seed=0))
+>>> clf = clf.fit(data.train_signatures, data.train_labels, epochs=10)
+>>> accuracy = clf.score(data.test_signatures, data.test_labels)
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    DataError,
+    DeviceCapacityError,
+    DimensionMismatchError,
+    HardwareModelError,
+    NotFittedError,
+    ReproError,
+    TrackingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "DataError",
+    "DimensionMismatchError",
+    "NotFittedError",
+    "HardwareModelError",
+    "DeviceCapacityError",
+    "TrackingError",
+]

@@ -1,0 +1,43 @@
+"""Random-number-generator plumbing shared across the library.
+
+All stochastic components in :mod:`repro` (weight initialisation, the
+synthetic video generator, dataset shuffling...) accept a ``seed`` argument
+that may be ``None``, an integer, or an already constructed
+:class:`numpy.random.Generator`.  This module centralises the conversion so
+that every component normalises seeds identically and experiments are
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` produces an unpredictable generator, an ``int`` (or
+    ``SeedSequence``) produces a deterministic one, and an existing
+    ``Generator`` is returned unchanged so that callers can thread a single
+    generator through a pipeline of components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used by experiment runners that repeat a measurement several times: each
+    repetition gets its own stream so that repetitions are independent yet
+    the whole experiment is reproducible from one seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,81 @@
+"""The paper's primary contribution: the tri-state binary SOM and baselines.
+
+This subpackage contains everything needed to train and use the binary
+Self-Organising Map (bSOM) described in the paper, alongside the
+conventional Kohonen SOM (cSOM) it is benchmarked against in Table I:
+
+* :mod:`repro.core.tristate` -- the {0, 1, #} weight representation,
+* :mod:`repro.core.distance` -- Hamming distances with don't-care masking,
+* :mod:`repro.core.topology` -- neuron topologies and the shrinking
+  neighbourhood schedule of section V-D,
+* :mod:`repro.core.bsom` -- the tri-state training rules,
+* :mod:`repro.core.csom` -- the real-valued Kohonen baseline,
+* :mod:`repro.core.labelling` -- win-frequency node labelling,
+* :mod:`repro.core.classifier` -- the identification wrapper with unknown
+  rejection (section III-B),
+* :mod:`repro.core.novelty` -- rejection-threshold calibration and novelty
+  detection (used by the on-line extension),
+* :mod:`repro.core.serialization` -- saving/loading trained maps.
+"""
+
+from repro.core.tristate import (
+    DONT_CARE,
+    TriStateWeights,
+    random_tristate,
+    tristate_from_binary,
+)
+from repro.core.distance import (
+    hamming_distance,
+    masked_hamming_distance,
+    batch_masked_hamming,
+    batch_binary_hamming,
+)
+from repro.core.topology import (
+    Topology,
+    LinearTopology,
+    RingTopology,
+    Grid2DTopology,
+    NeighbourhoodSchedule,
+    StepwiseNeighbourhoodSchedule,
+    ConstantNeighbourhoodSchedule,
+)
+from repro.core.som import SelfOrganisingMap, TrainingHistory
+from repro.core.bsom import BinarySom, BsomUpdateRule
+from repro.core.csom import KohonenSom, LearningRateSchedule
+from repro.core.labelling import NodeLabeller, LabelledMap
+from repro.core.classifier import SomClassifier, PredictionResult, UNKNOWN_LABEL
+from repro.core.novelty import NoveltyDetector, calibrate_rejection_threshold
+from repro.core.serialization import save_model, load_model
+
+__all__ = [
+    "DONT_CARE",
+    "TriStateWeights",
+    "random_tristate",
+    "tristate_from_binary",
+    "hamming_distance",
+    "masked_hamming_distance",
+    "batch_masked_hamming",
+    "batch_binary_hamming",
+    "Topology",
+    "LinearTopology",
+    "RingTopology",
+    "Grid2DTopology",
+    "NeighbourhoodSchedule",
+    "StepwiseNeighbourhoodSchedule",
+    "ConstantNeighbourhoodSchedule",
+    "SelfOrganisingMap",
+    "TrainingHistory",
+    "BinarySom",
+    "BsomUpdateRule",
+    "KohonenSom",
+    "LearningRateSchedule",
+    "NodeLabeller",
+    "LabelledMap",
+    "SomClassifier",
+    "PredictionResult",
+    "UNKNOWN_LABEL",
+    "NoveltyDetector",
+    "calibrate_rejection_threshold",
+    "save_model",
+    "load_model",
+]

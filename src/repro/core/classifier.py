@@ -1,0 +1,208 @@
+"""The identification classifier built on a SOM (section III-B).
+
+The paper turns either SOM into an identifier with three ingredients:
+
+1. unsupervised training of the map on binary signatures,
+2. win-frequency node labelling against the labelled training set, and
+3. nearest-neuron prediction with an "unknown" rejection threshold.
+
+:class:`SomClassifier` packages those three steps behind a small
+scikit-learn-like ``fit`` / ``predict`` / ``score`` surface and works with
+any :class:`~repro.core.som.SelfOrganisingMap` implementation -- the
+software bSOM, the cSOM baseline, or the cycle-accurate FPGA model (which
+exposes the same interface through an adapter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro._rng import SeedLike
+from repro.core.labelling import LabelledMap, NodeLabeller
+from repro.core.novelty import calibrate_rejection_threshold
+from repro.core.som import SelfOrganisingMap, validate_binary_matrix
+from repro.errors import ConfigurationError, DataError, NotFittedError
+
+#: Label returned for inputs rejected as unknown.
+UNKNOWN_LABEL: int = -1
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """Full prediction detail for a single signature.
+
+    Attributes
+    ----------
+    label:
+        Predicted object label, or :data:`UNKNOWN_LABEL` when rejected.
+    neuron:
+        Index of the winning (minimum-distance) neuron.
+    distance:
+        The winning distance (Hamming for the bSOM, squared Euclidean for
+        the cSOM).
+    rejected:
+        Whether the rejection threshold fired.
+    """
+
+    label: int
+    neuron: int
+    distance: float
+    rejected: bool
+
+
+class SomClassifier:
+    """Appearance-based object identifier backed by a SOM.
+
+    Parameters
+    ----------
+    som:
+        An (untrained) SOM instance -- typically
+        :class:`~repro.core.bsom.BinarySom` with 40 neurons and 768-bit
+        vectors, or :class:`~repro.core.csom.KohonenSom` for the baseline.
+    rejection_percentile:
+        Percentile of training best-matching distances used to calibrate
+        the "unknown" rejection threshold; ``None`` disables rejection
+        entirely (every input is assigned some known label, matching the
+        accuracy protocol of Table I where all test objects are known).
+    rejection_margin:
+        Multiplicative margin on the calibrated threshold.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import BinarySom, SomClassifier
+    >>> rng = np.random.default_rng(0)
+    >>> X = np.vstack([rng.integers(0, 2, (50, 32)) for _ in range(2)])
+    >>> y = np.repeat([0, 1], 50)
+    >>> clf = SomClassifier(BinarySom(8, 32, seed=1))
+    >>> clf = clf.fit(X, y, epochs=5)
+    >>> clf.predict(X).shape
+    (100,)
+    """
+
+    def __init__(
+        self,
+        som: SelfOrganisingMap,
+        *,
+        rejection_percentile: Optional[float] = None,
+        rejection_margin: float = 1.0,
+    ):
+        if rejection_percentile is not None and not 0.0 < rejection_percentile <= 100.0:
+            raise ConfigurationError(
+                f"rejection_percentile must lie in (0, 100], got {rejection_percentile}"
+            )
+        self.som = som
+        self.rejection_percentile = rejection_percentile
+        self.rejection_margin = float(rejection_margin)
+        self.labelling: Optional[LabelledMap] = None
+        self.rejection_threshold: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 50,
+        shuffle: bool = True,
+        seed: SeedLike = None,
+        record_history: bool = False,
+    ) -> "SomClassifier":
+        """Train the map, label its neurons and calibrate rejection.
+
+        Parameters
+        ----------
+        X, y:
+            Binary training signatures and their integer identity labels.
+        epochs:
+            Training iterations (full passes), the independent variable of
+            Table I.
+        shuffle, seed:
+            Presentation-order control forwarded to the SOM.
+        record_history:
+            Record per-epoch quantisation error on the underlying map.
+        """
+        X = validate_binary_matrix(X, self.som.n_bits)
+        y = np.asarray(y)
+        if y.shape[0] != X.shape[0]:
+            raise DataError(
+                f"got {X.shape[0]} signatures but {y.shape[0]} labels"
+            )
+        self.som.fit(
+            X, epochs, shuffle=shuffle, seed=seed, record_history=record_history
+        )
+        self.labelling = NodeLabeller().label(self.som, X, y)
+        if self.rejection_percentile is not None:
+            self.rejection_threshold = calibrate_rejection_threshold(
+                self.som,
+                X,
+                percentile=self.rejection_percentile,
+                margin=self.rejection_margin,
+            )
+        return self
+
+    def label_nodes(self, X: np.ndarray, y: np.ndarray) -> LabelledMap:
+        """(Re-)label the neurons without retraining the map.
+
+        Used by the FPGA workflow, where training may have happened on the
+        hardware model and only the labelling is (re)run in software.
+        """
+        self.labelling = NodeLabeller().label(self.som, X, y)
+        return self.labelling
+
+    def _require_fitted(self) -> LabelledMap:
+        if self.labelling is None:
+            raise NotFittedError(
+                "this classifier has not been fitted; call fit() or label_nodes() first"
+            )
+        return self.labelling
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def predict_one(self, x: np.ndarray) -> PredictionResult:
+        """Classify a single signature, returning full detail."""
+        labelling = self._require_fitted()
+        distances = self.som.distances(x)
+        neuron = int(np.argmin(distances))
+        distance = float(distances[neuron])
+        rejected = (
+            self.rejection_threshold is not None and distance > self.rejection_threshold
+        )
+        node_label = labelling.label_of(neuron)
+        if rejected or node_label is None:
+            label = UNKNOWN_LABEL
+            rejected = True
+        else:
+            label = int(node_label)
+        return PredictionResult(
+            label=label, neuron=neuron, distance=distance, rejected=rejected
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels for every row of ``X`` (vectorised)."""
+        labelling = self._require_fitted()
+        X = validate_binary_matrix(X, self.som.n_bits)
+        distances = self.som.distance_matrix(X)
+        winners = np.argmin(distances, axis=1)
+        best = distances[np.arange(X.shape[0]), winners]
+        labels = labelling.node_labels[winners].copy()
+        labels[labels == LabelledMap.UNLABELLED] = UNKNOWN_LABEL
+        if self.rejection_threshold is not None:
+            labels[best > self.rejection_threshold] = UNKNOWN_LABEL
+        return labels.astype(np.int64)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Recognition accuracy on a labelled test set (the paper's metric)."""
+        y = np.asarray(y)
+        predictions = self.predict(X)
+        if predictions.shape != y.shape:
+            raise DataError(
+                f"got {predictions.shape[0]} predictions but {y.shape[0]} labels"
+            )
+        return float(np.mean(predictions == y))

@@ -1,0 +1,132 @@
+"""Hamming distances between binary inputs and (tri-state) neuron weights.
+
+Equation 3 of the paper defines the match measure used throughout: the
+Hamming distance between the input vector and a neuron, where components in
+the ``#`` (don't care) state are skipped.  A neuron whose weight vector is
+all ``#`` therefore has distance zero to every input -- a property the paper
+calls out explicitly, and one the node-labelling stage has to cope with.
+
+All functions here operate on plain numpy arrays so they can be shared by
+the software bSOM, the classifier and the cycle-accurate hardware model
+(which recomputes the same quantity bit-serially and is tested against
+these reference implementations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tristate import DONT_CARE
+from repro.errors import DataError, DimensionMismatchError
+
+
+def _as_binary_vector(x: np.ndarray, name: str = "input") -> np.ndarray:
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise DataError(f"{name} must be a one-dimensional vector, got shape {x.shape}")
+    if x.size == 0:
+        raise DataError(f"{name} must not be empty")
+    if not np.all(np.isin(np.unique(x), (0, 1))):
+        raise DataError(f"{name} must contain only zeros and ones")
+    return x.astype(np.int8)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Plain Hamming distance between two binary vectors of equal length."""
+    a = _as_binary_vector(a, "first vector")
+    b = _as_binary_vector(b, "second vector")
+    if a.shape != b.shape:
+        raise DimensionMismatchError(a.size, b.size, "second vector")
+    return int(np.count_nonzero(a != b))
+
+
+def masked_hamming_distance(weights: np.ndarray, x: np.ndarray) -> int:
+    """Hamming distance between one tri-state weight vector and a binary input.
+
+    Components where ``weights == DONT_CARE`` are ignored (equation 3).
+    """
+    weights = np.asarray(weights)
+    x = _as_binary_vector(x)
+    if weights.ndim != 1:
+        raise DataError(
+            f"weight vector must be one-dimensional, got shape {weights.shape}"
+        )
+    if weights.shape != x.shape:
+        raise DimensionMismatchError(weights.size, x.size, "input vector")
+    care = weights != DONT_CARE
+    return int(np.count_nonzero(care & (weights != x)))
+
+
+def batch_masked_hamming(weights: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Masked Hamming distance from every tri-state neuron to one input.
+
+    This is the software equivalent of the FPGA's parallel Hamming-distance
+    computation unit: all neurons are evaluated "at once".
+
+    Parameters
+    ----------
+    weights:
+        ``(n_neurons, n_bits)`` tri-state matrix over ``{0, 1, DONT_CARE}``.
+    x:
+        Binary input vector of length ``n_bits``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer distances of shape ``(n_neurons,)``.
+    """
+    weights = np.asarray(weights)
+    x = _as_binary_vector(x)
+    if weights.ndim != 2:
+        raise DataError(
+            f"weights must be a 2-D (n_neurons, n_bits) matrix, got shape {weights.shape}"
+        )
+    if weights.shape[1] != x.size:
+        raise DimensionMismatchError(weights.shape[1], x.size, "input vector")
+    mismatch = (weights != DONT_CARE) & (weights != x[np.newaxis, :])
+    return np.count_nonzero(mismatch, axis=1).astype(np.int64)
+
+
+def batch_binary_hamming(weights: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Hamming distance from every *binary* neuron row to one binary input."""
+    weights = np.asarray(weights)
+    x = _as_binary_vector(x)
+    if weights.ndim != 2:
+        raise DataError(
+            f"weights must be a 2-D (n_neurons, n_bits) matrix, got shape {weights.shape}"
+        )
+    if weights.shape[1] != x.size:
+        raise DimensionMismatchError(weights.shape[1], x.size, "input vector")
+    if weights.size and not np.all(np.isin(np.unique(weights), (0, 1))):
+        raise DataError("binary weights must contain only zeros and ones")
+    return np.count_nonzero(weights != x[np.newaxis, :], axis=1).astype(np.int64)
+
+
+def pairwise_masked_hamming(weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+    """Masked Hamming distances between every neuron and every input.
+
+    Parameters
+    ----------
+    weights:
+        ``(n_neurons, n_bits)`` tri-state matrix.
+    inputs:
+        ``(n_samples, n_bits)`` binary matrix.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_samples, n_neurons)`` matrix of distances.  Used by the node
+        labeller and by evaluation code to score whole datasets at once.
+    """
+    weights = np.asarray(weights, dtype=np.int8)
+    inputs = np.asarray(inputs)
+    if weights.ndim != 2 or inputs.ndim != 2:
+        raise DataError("weights and inputs must both be 2-D matrices")
+    if weights.shape[1] != inputs.shape[1]:
+        raise DimensionMismatchError(weights.shape[1], inputs.shape[1], "input matrix")
+    if inputs.size and not np.all(np.isin(np.unique(inputs), (0, 1))):
+        raise DataError("inputs must contain only zeros and ones")
+    inputs = inputs.astype(np.int8)
+    care = (weights != DONT_CARE)[np.newaxis, :, :]
+    mismatch = weights[np.newaxis, :, :] != inputs[:, np.newaxis, :]
+    return np.count_nonzero(care & mismatch, axis=2).astype(np.int64)

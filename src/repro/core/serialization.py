@@ -1,0 +1,191 @@
+"""Saving and loading trained maps and classifiers.
+
+Models are stored as ``.npz`` archives with a small JSON header describing
+the model class and its configuration.  The format stores everything a
+deployed identification system needs to resume: the weight matrix (tri-state
+or real), the node labels, the win-frequency table and the rejection
+threshold.  This mirrors the paper's deployment story -- the map is trained
+off-line on a PC and the resulting weights/labels are what actually lives in
+the FPGA's BlockRAM.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.bsom import BinarySom, BsomUpdateRule
+from repro.core.classifier import SomClassifier
+from repro.core.csom import KohonenSom, LearningRateSchedule
+from repro.core.labelling import LabelledMap
+from repro.core.topology import (
+    Grid2DTopology,
+    LinearTopology,
+    RingTopology,
+    StepwiseNeighbourhoodSchedule,
+)
+from repro.errors import DataError
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _topology_config(topology) -> dict:
+    if isinstance(topology, Grid2DTopology):
+        return {"kind": "grid2d", "rows": topology.rows, "cols": topology.cols}
+    if isinstance(topology, RingTopology):
+        return {"kind": "ring", "n_neurons": topology.n_neurons}
+    if isinstance(topology, LinearTopology):
+        return {"kind": "linear", "n_neurons": topology.n_neurons}
+    raise DataError(f"cannot serialise topology of type {type(topology).__name__}")
+
+
+def _topology_from_config(config: dict):
+    kind = config["kind"]
+    if kind == "grid2d":
+        return Grid2DTopology(config["rows"], config["cols"])
+    if kind == "ring":
+        return RingTopology(config["n_neurons"])
+    if kind == "linear":
+        return LinearTopology(config["n_neurons"])
+    raise DataError(f"unknown topology kind {kind!r} in saved model")
+
+
+def _schedule_config(schedule) -> dict:
+    if isinstance(schedule, StepwiseNeighbourhoodSchedule):
+        return {
+            "kind": "stepwise",
+            "max_radius": schedule.max_radius,
+            "min_radius": schedule.min_radius,
+        }
+    # Constant and custom schedules round-trip as stepwise with equal radii.
+    radius = schedule.radius(0, 1)
+    return {"kind": "stepwise", "max_radius": radius, "min_radius": radius}
+
+
+def _schedule_from_config(config: dict) -> StepwiseNeighbourhoodSchedule:
+    return StepwiseNeighbourhoodSchedule(
+        max_radius=config["max_radius"], min_radius=config["min_radius"]
+    )
+
+
+def save_model(model: Union[BinarySom, KohonenSom, SomClassifier], path: PathLike) -> Path:
+    """Serialise ``model`` to ``path`` (``.npz``) and return the path written.
+
+    Both bare maps and fitted :class:`SomClassifier` instances are
+    supported; classifiers additionally store their labelling and rejection
+    threshold.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+
+    arrays: dict[str, np.ndarray] = {}
+    header: dict = {"format_version": _FORMAT_VERSION}
+
+    if isinstance(model, SomClassifier):
+        header["model"] = "SomClassifier"
+        header["rejection_percentile"] = model.rejection_percentile
+        header["rejection_margin"] = model.rejection_margin
+        header["rejection_threshold"] = model.rejection_threshold
+        if model.labelling is not None:
+            arrays["node_labels"] = model.labelling.node_labels
+            arrays["win_frequencies"] = model.labelling.win_frequencies
+            arrays["labels"] = model.labelling.labels
+        inner = model.som
+    else:
+        inner = model
+
+    if isinstance(inner, BinarySom):
+        header["som"] = "BinarySom"
+        header["n_neurons"] = inner.n_neurons
+        header["n_bits"] = inner.n_bits
+        header["topology"] = _topology_config(inner.topology)
+        header["schedule"] = _schedule_config(inner.schedule)
+        header["update_rule"] = {
+            "winner_rule": inner.update_rule.winner_rule,
+            "neighbour_rule": inner.update_rule.neighbour_rule,
+            "neighbour_strength": inner.update_rule.neighbour_strength,
+        }
+        arrays["weights"] = inner.weights.values
+    elif isinstance(inner, KohonenSom):
+        header["som"] = "KohonenSom"
+        header["n_neurons"] = inner.n_neurons
+        header["n_bits"] = inner.n_bits
+        header["topology"] = _topology_config(inner.topology)
+        header["schedule"] = _schedule_config(inner.schedule)
+        header["learning_rate"] = {
+            "initial": inner.learning_rate.initial,
+            "final": inner.learning_rate.final,
+        }
+        header["neighbour_decay"] = inner.neighbour_decay
+        arrays["weights"] = inner.weights
+    else:
+        raise DataError(f"cannot serialise model of type {type(inner).__name__}")
+
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def _rebuild_som(header: dict, weights: np.ndarray):
+    topology = _topology_from_config(header["topology"])
+    schedule = _schedule_from_config(header["schedule"])
+    if header["som"] == "BinarySom":
+        som = BinarySom(
+            header["n_neurons"],
+            header["n_bits"],
+            topology=topology,
+            schedule=schedule,
+            update_rule=BsomUpdateRule(**header["update_rule"]),
+        )
+        som.set_weights(weights.astype(np.int8))
+        return som
+    if header["som"] == "KohonenSom":
+        som = KohonenSom(
+            header["n_neurons"],
+            header["n_bits"],
+            topology=topology,
+            schedule=schedule,
+            learning_rate=LearningRateSchedule(**header["learning_rate"]),
+            neighbour_decay=header["neighbour_decay"],
+        )
+        som.set_weights(weights)
+        return som
+    raise DataError(f"unknown SOM type {header['som']!r} in saved model")
+
+
+def load_model(path: PathLike) -> Union[BinarySom, KohonenSom, SomClassifier]:
+    """Load a model previously written by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"model file {path} does not exist")
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise DataError(
+                f"unsupported model format version {header.get('format_version')!r}"
+            )
+        weights = archive["weights"]
+        som = _rebuild_som(header, weights)
+        if header.get("model") != "SomClassifier":
+            return som
+        classifier = SomClassifier(
+            som,
+            rejection_percentile=header.get("rejection_percentile"),
+            rejection_margin=header.get("rejection_margin", 1.0),
+        )
+        classifier.rejection_threshold = header.get("rejection_threshold")
+        if "node_labels" in archive:
+            classifier.labelling = LabelledMap(
+                node_labels=archive["node_labels"],
+                win_frequencies=archive["win_frequencies"],
+                labels=archive["labels"],
+            )
+        return classifier

@@ -1,0 +1,66 @@
+"""Saving and loading signature datasets as ``.npz`` archives.
+
+Dataset generation renders synthetic video and is the slowest part of the
+evaluation harness, so the benchmark suite and the examples persist the
+generated dataset to disk and reload it on subsequent runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.surveillance import SurveillanceDataset
+from repro.errors import DataError
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(dataset: SurveillanceDataset, path: PathLike) -> Path:
+    """Write ``dataset`` to ``path`` (``.npz``); returns the path written."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        train_signatures=dataset.train_signatures,
+        train_labels=dataset.train_labels,
+        test_signatures=dataset.test_signatures,
+        test_labels=dataset.test_labels,
+        train_frames=dataset.train_frames,
+        test_frames=dataset.test_frames,
+        n_bits=np.array([dataset.n_bits], dtype=np.int64),
+    )
+    return path
+
+
+def load_dataset(path: PathLike) -> SurveillanceDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"dataset file {path} does not exist")
+    with np.load(path, allow_pickle=False) as archive:
+        required = {
+            "train_signatures",
+            "train_labels",
+            "test_signatures",
+            "test_labels",
+            "train_frames",
+            "test_frames",
+            "n_bits",
+        }
+        missing = required - set(archive.files)
+        if missing:
+            raise DataError(f"dataset file {path} is missing arrays: {sorted(missing)}")
+        return SurveillanceDataset(
+            train_signatures=archive["train_signatures"],
+            train_labels=archive["train_labels"],
+            test_signatures=archive["test_signatures"],
+            test_labels=archive["test_labels"],
+            train_frames=archive["train_frames"],
+            test_frames=archive["test_frames"],
+            n_bits=int(archive["n_bits"][0]),
+        )

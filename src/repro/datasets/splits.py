@@ -1,0 +1,98 @@
+"""Train/test split helpers.
+
+The paper uses a *temporal* split -- the first 30 minutes of video train the
+map and later frames test it -- which is what :func:`temporal_split`
+implements.  :func:`stratified_split` is provided for experiments that need
+class-balanced random splits instead (e.g. cross-validation style ablations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.errors import ConfigurationError, DataError
+
+
+def _validate_xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise DataError(f"X must be a 2-D matrix, got shape {X.shape}")
+    if y.ndim != 1 or y.shape[0] != X.shape[0]:
+        raise DataError(
+            f"y must be a vector with one label per row of X; got {y.shape} for "
+            f"{X.shape[0]} rows"
+        )
+    return X, y
+
+
+def temporal_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    order: np.ndarray,
+    train_fraction: float = 0.66,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split by time: earliest ``train_fraction`` of samples train, rest test.
+
+    Parameters
+    ----------
+    X, y:
+        Signatures and labels.
+    order:
+        A sortable per-sample key (frame index or timestamp).
+    train_fraction:
+        Fraction of samples (earliest first) assigned to training.
+
+    Returns
+    -------
+    (X_train, y_train, X_test, y_test)
+    """
+    X, y = _validate_xy(X, y)
+    order = np.asarray(order)
+    if order.shape[0] != X.shape[0]:
+        raise DataError(
+            f"order must have one entry per sample; got {order.shape[0]} for "
+            f"{X.shape[0]} samples"
+        )
+    if not 0.0 < train_fraction < 1.0:
+        raise ConfigurationError(
+            f"train_fraction must lie strictly between 0 and 1, got {train_fraction}"
+        )
+    ranking = np.argsort(order, kind="stable")
+    cut = int(round(train_fraction * X.shape[0]))
+    cut = min(max(cut, 1), X.shape[0] - 1)
+    train_idx, test_idx = ranking[:cut], ranking[cut:]
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]
+
+
+def stratified_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    train_fraction: float = 0.66,
+    seed: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random split preserving per-class proportions.
+
+    Every class contributes at least one sample to each side provided it has
+    at least two samples overall.
+    """
+    X, y = _validate_xy(X, y)
+    if not 0.0 < train_fraction < 1.0:
+        raise ConfigurationError(
+            f"train_fraction must lie strictly between 0 and 1, got {train_fraction}"
+        )
+    rng = as_generator(seed)
+    train_indices: list[int] = []
+    test_indices: list[int] = []
+    for label in np.unique(y):
+        members = np.flatnonzero(y == label)
+        members = members[rng.permutation(members.size)]
+        cut = int(round(train_fraction * members.size))
+        if members.size >= 2:
+            cut = min(max(cut, 1), members.size - 1)
+        train_indices.extend(members[:cut].tolist())
+        test_indices.extend(members[cut:].tolist())
+    train_idx = np.array(sorted(train_indices), dtype=np.int64)
+    test_idx = np.array(sorted(test_indices), dtype=np.int64)
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]

@@ -1,0 +1,438 @@
+"""Paper-scale surveillance signature dataset.
+
+The paper's evaluation data consists of binary signatures extracted from a
+two-hour indoor recording: nine people, 2,248 manually labelled training
+signatures (first 30 minutes) and 1,139 test signatures, with silhouettes
+degraded by partial occlusion, camera jitter and over-/under-segmentation.
+This module rebuilds a dataset of the same shape from the synthetic scene:
+
+1. the scene generator renders frames with ground-truth silhouettes for the
+   nine actors,
+2. a :class:`SegmentationNoiseModel` corrupts each silhouette the way a real
+   background-subtraction + connected-components pipeline would (eroded or
+   dilated boundaries, missing bands from partial occlusion, background
+   contamination, occasional merging with another object),
+3. the silhouette is size-filtered with the paper's 768-pixel rule, and
+4. the signature front end (:mod:`repro.signatures`) turns the silhouette's
+   colour histogram into a 768-bit binary signature.
+
+The split is temporal, exactly as in the paper: the first part of the
+sequence becomes the training set and the remainder the test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.errors import ConfigurationError
+from repro.signatures.binarize import MeanThreshold, ThresholdStrategy
+from repro.signatures.histogram import rgb_histogram
+from repro.signatures.binarize import binarize_histogram
+from repro.vision.morphology import binary_dilate, binary_erode
+from repro.vision.synthetic import (
+    ActorSpec,
+    SceneConfig,
+    SyntheticSurveillanceScene,
+    default_actor_palette,
+)
+
+#: The paper's dataset sizes (section IV).
+PAPER_TRAIN_SIGNATURES = 2248
+PAPER_TEST_SIGNATURES = 1139
+PAPER_IDENTITIES = 9
+
+#: The paper's minimum silhouette size (pixels); scaled to the synthetic
+#: scene's resolution when building the dataset.
+PAPER_MIN_SILHOUETTE_PIXELS = 768
+
+
+@dataclass(frozen=True)
+class SegmentationNoiseModel:
+    """Models the silhouette degradation a real segmentation pipeline causes.
+
+    Attributes
+    ----------
+    boundary_noise_probability:
+        Chance that a silhouette is eroded or dilated by one pixel
+        (boundary uncertainty of background differencing).
+    partial_occlusion_probability:
+        Chance that part of the silhouette is removed (under-segmentation /
+        partial occlusion by furniture).  Half of these events remove the
+        silhouette's upper or lower half outright, so each identity's
+        signatures form several distinct modes (full body, torso only, legs
+        only) -- this is the frame-to-frame variation visible in the
+        paper's figure 3 and the reason the paper needs 40 neurons rather
+        than the 9-neuron minimum.
+    max_occlusion_fraction:
+        Maximum fraction of the silhouette height removed by a random
+        occlusion band.
+    contamination_probability:
+        Chance that the silhouette is dilated so that background pixels leak
+        into the histogram (over-segmentation).
+    merge_probability:
+        Chance that the silhouette is merged with another object visible in
+        the same frame (two people segmented as one blob) -- the most
+        damaging artefact for identification.
+    """
+
+    boundary_noise_probability: float = 0.5
+    partial_occlusion_probability: float = 0.45
+    max_occlusion_fraction: float = 0.4
+    contamination_probability: float = 0.3
+    merge_probability: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "boundary_noise_probability",
+            "partial_occlusion_probability",
+            "contamination_probability",
+            "merge_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+        if not 0.0 <= self.max_occlusion_fraction < 1.0:
+            raise ConfigurationError(
+                "max_occlusion_fraction must lie in [0, 1), got "
+                f"{self.max_occlusion_fraction}"
+            )
+
+    def corrupt(
+        self,
+        mask: np.ndarray,
+        other_masks: list[np.ndarray],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return a corrupted copy of ``mask``."""
+        corrupted = mask.copy()
+        if rng.random() < self.boundary_noise_probability:
+            if rng.random() < 0.5:
+                corrupted = binary_erode(corrupted, 1)
+            else:
+                corrupted = binary_dilate(corrupted, 1)
+        if rng.random() < self.partial_occlusion_probability and corrupted.any():
+            rows = np.flatnonzero(corrupted.any(axis=1))
+            height = rows.size
+            mode = rng.random()
+            if mode < 0.25:
+                # Upper half hidden (e.g. person behind a tall cabinet).
+                corrupted[rows[0] : rows[0] + height // 2, :] = False
+            elif mode < 0.5:
+                # Lower half hidden (the common case: desks and chairs).
+                corrupted[rows[height // 2] :, :] = False
+            else:
+                band = max(int(height * rng.uniform(0.1, self.max_occlusion_fraction)), 1)
+                start = int(rng.integers(0, max(height - band, 1)))
+                corrupted[rows[start] : rows[start] + band, :] = False
+        if rng.random() < self.contamination_probability:
+            corrupted = binary_dilate(corrupted, 1)
+        if other_masks and rng.random() < self.merge_probability:
+            other = other_masks[int(rng.integers(0, len(other_masks)))]
+            corrupted = corrupted | other
+        return corrupted
+
+
+@dataclass
+class SurveillanceDatasetConfig:
+    """Configuration of the paper-scale dataset builder.
+
+    ``scale`` shrinks the target signature counts proportionally so tests
+    and benchmarks can run on a fraction of the paper-scale data while
+    keeping the identical generation process (``scale=1.0`` reproduces the
+    paper's 2,248 / 1,139 split sizes).
+    """
+
+    n_identities: int = PAPER_IDENTITIES
+    train_signatures: int = PAPER_TRAIN_SIGNATURES
+    test_signatures: int = PAPER_TEST_SIGNATURES
+    scale: float = 1.0
+    bins_per_channel: int = 256
+    min_silhouette_pixels: Optional[int] = None
+    lighting_periods_per_split: float = 2.5
+    noise: SegmentationNoiseModel = field(default_factory=SegmentationNoiseModel)
+    scene: SceneConfig = field(default_factory=SceneConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_identities <= 0:
+            raise ConfigurationError(
+                f"n_identities must be positive, got {self.n_identities}"
+            )
+        if not 0.0 < self.scale <= 1.0:
+            raise ConfigurationError(f"scale must lie in (0, 1], got {self.scale}")
+        if self.train_signatures <= 0 or self.test_signatures <= 0:
+            raise ConfigurationError("signature counts must be positive")
+        if self.lighting_periods_per_split <= 0:
+            raise ConfigurationError(
+                "lighting_periods_per_split must be positive, got "
+                f"{self.lighting_periods_per_split}"
+            )
+
+    @property
+    def target_train(self) -> int:
+        return max(int(round(self.train_signatures * self.scale)), self.n_identities)
+
+    @property
+    def target_test(self) -> int:
+        return max(int(round(self.test_signatures * self.scale)), self.n_identities)
+
+    @property
+    def n_bits(self) -> int:
+        return 3 * self.bins_per_channel
+
+
+@dataclass
+class SurveillanceDataset:
+    """Binary signature dataset with a temporal train/test split.
+
+    Attributes
+    ----------
+    train_signatures, test_signatures:
+        ``(n, n_bits)`` uint8 matrices of binary signatures.
+    train_labels, test_labels:
+        Ground-truth identity labels for each signature.
+    train_frames, test_frames:
+        The frame index each signature was extracted from (provenance for
+        figure-3 style plots).
+    n_bits:
+        Signature length.
+    config:
+        The configuration the dataset was generated with.
+    """
+
+    train_signatures: np.ndarray
+    train_labels: np.ndarray
+    test_signatures: np.ndarray
+    test_labels: np.ndarray
+    train_frames: np.ndarray
+    test_frames: np.ndarray
+    n_bits: int
+    config: Optional[SurveillanceDatasetConfig] = None
+
+    @property
+    def n_identities(self) -> int:
+        return int(np.unique(np.concatenate([self.train_labels, self.test_labels])).size)
+
+    @property
+    def n_train(self) -> int:
+        return int(self.train_signatures.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        return int(self.test_signatures.shape[0])
+
+    def signatures_for_identity(
+        self, identity: int, split: str = "train"
+    ) -> np.ndarray:
+        """All signatures of one identity, in temporal order (figure 3)."""
+        if split == "train":
+            signatures, labels, frames = (
+                self.train_signatures,
+                self.train_labels,
+                self.train_frames,
+            )
+        elif split == "test":
+            signatures, labels, frames = (
+                self.test_signatures,
+                self.test_labels,
+                self.test_frames,
+            )
+        else:
+            raise ConfigurationError(f"split must be 'train' or 'test', got {split!r}")
+        selected = labels == identity
+        order = np.argsort(frames[selected], kind="stable")
+        return signatures[selected][order]
+
+    def summary(self) -> dict:
+        """Human-readable dataset summary used in EXPERIMENTS.md."""
+        return {
+            "identities": self.n_identities,
+            "train_signatures": self.n_train,
+            "test_signatures": self.n_test,
+            "bits": self.n_bits,
+            "train_bits_set_mean": float(self.train_signatures.sum(axis=1).mean()),
+            "test_bits_set_mean": float(self.test_signatures.sum(axis=1).mean()),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Generation
+# --------------------------------------------------------------------------- #
+_DATASET_CACHE: dict[tuple, SurveillanceDataset] = {}
+
+
+def _min_silhouette(config: SurveillanceDatasetConfig) -> int:
+    """Scale the paper's 768-pixel rule to the synthetic scene resolution.
+
+    The paper's camera is VGA-class; the synthetic scene is much smaller, so
+    the noise filter is scaled by the area ratio (with a small floor) unless
+    the configuration pins an explicit value.
+    """
+    if config.min_silhouette_pixels is not None:
+        return config.min_silhouette_pixels
+    scene_area = config.scene.height * config.scene.width
+    reference_area = 640 * 480
+    scaled = int(PAPER_MIN_SILHOUETTE_PIXELS * scene_area / reference_area)
+    return max(scaled, 48)
+
+
+def _collect_signatures(
+    scene: SyntheticSurveillanceScene,
+    config: SurveillanceDatasetConfig,
+    rng: np.random.Generator,
+    target_count: int,
+    start_frame: int,
+    strategy: ThresholdStrategy,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Render frames until ``target_count`` signatures have been extracted.
+
+    Collection keeps going (past ``target_count`` if necessary) until every
+    identity has contributed a reasonable share of signatures, then the
+    result is thinned back to ``target_count`` by even temporal subsampling.
+    This keeps small-scale datasets (``scale`` well below 1) class-balanced
+    even though actors enter and leave the scene at different times.
+
+    Frames are sampled with a stride chosen so that the collection spans
+    roughly ``config.lighting_periods_per_split`` full periods of the
+    scene's lighting drift regardless of how many signatures are needed.
+    The paper's training half-hour likewise spans the full range of
+    lighting the later test frames see; without this the temporal split
+    would introduce a lighting-induced distribution shift between training
+    and testing that the paper's data does not have.
+    """
+    min_pixels = _min_silhouette(config)
+    per_identity_minimum = max(target_count // (3 * config.n_identities), 1)
+    signatures: list[np.ndarray] = []
+    labels: list[int] = []
+    frames: list[int] = []
+    counts = {actor.identity: 0 for actor in scene.actors}
+
+    expected_signatures_per_frame = max(config.n_identities * 0.3, 1.0)
+    frames_needed = target_count / expected_signatures_per_frame
+    desired_span = config.lighting_periods_per_split * config.scene.lighting_period_frames
+    stride = max(int(round(desired_span / max(frames_needed, 1.0))), 1)
+
+    frame_index = start_frame
+    # Hard stop so a misconfigured scene cannot loop forever.
+    max_frames = start_frame + stride * (50 * target_count + 5000)
+
+    def _satisfied() -> bool:
+        if len(signatures) < target_count:
+            return False
+        return all(count >= per_identity_minimum for count in counts.values())
+
+    while not _satisfied() and frame_index < max_frames:
+        frame = scene.render_frame(frame_index)
+        visible = list(frame.truth_masks.items())
+        for identity, mask in visible:
+            others = [m for other_id, m in visible if other_id != identity]
+            corrupted = config.noise.corrupt(mask, others, rng)
+            if int(corrupted.sum()) < min_pixels:
+                continue
+            histogram = rgb_histogram(frame.image, corrupted, config.bins_per_channel)
+            bits = binarize_histogram(histogram, strategy)
+            signatures.append(bits)
+            labels.append(identity)
+            frames.append(frame_index)
+            counts[identity] += 1
+        frame_index += stride
+
+    X = np.array(signatures, dtype=np.uint8)
+    y = np.array(labels, dtype=np.int64)
+    f = np.array(frames, dtype=np.int64)
+    if X.shape[0] > target_count:
+        keep = np.linspace(0, X.shape[0] - 1, target_count).round().astype(np.int64)
+        X, y, f = X[keep], y[keep], f[keep]
+    return X, y, f, frame_index
+
+
+def make_surveillance_dataset(
+    *,
+    scale: float = 1.0,
+    n_identities: int = PAPER_IDENTITIES,
+    config: SurveillanceDatasetConfig | None = None,
+    actors: list[ActorSpec] | None = None,
+    strategy: ThresholdStrategy | None = None,
+    seed: SeedLike = 2010,
+    use_cache: bool = True,
+) -> SurveillanceDataset:
+    """Build the paper-scale surveillance signature dataset.
+
+    Parameters
+    ----------
+    scale:
+        Fraction of the paper's signature counts to generate (1.0 gives
+        2,248 training and 1,139 test signatures; 0.1 gives a fast dataset
+        for unit tests with the same generation process).
+    n_identities:
+        Number of people in the scene (paper: nine).
+    config:
+        Full configuration; when given, ``scale`` and ``n_identities``
+        passed here are ignored in favour of the config's values.
+    actors:
+        Explicit actor specifications (defaults to the standard palette).
+    strategy:
+        Histogram binarisation rule (defaults to the paper's mean
+        threshold).
+    seed:
+        Master seed controlling the scene, noise model draws and ordering.
+    use_cache:
+        Re-use an in-process cached dataset when the parameters match
+        (dataset generation renders video frames and is the slowest step of
+        the evaluation harness).
+    """
+    if config is None:
+        config = SurveillanceDatasetConfig(scale=scale, n_identities=n_identities)
+    strategy = strategy or MeanThreshold()
+    cache_key = (
+        config.n_identities,
+        config.target_train,
+        config.target_test,
+        config.bins_per_channel,
+        config.scene.height,
+        config.scene.width,
+        config.noise,
+        repr(strategy),
+        int(seed) if isinstance(seed, int) else None,
+    )
+    if use_cache and cache_key[-1] is not None and cache_key in _DATASET_CACHE:
+        return _DATASET_CACHE[cache_key]
+
+    rng = as_generator(seed)
+    actor_specs = actors if actors is not None else default_actor_palette(
+        config.n_identities, seed=rng.integers(0, 2**31 - 1)
+    )
+    scene = SyntheticSurveillanceScene(
+        actors=actor_specs, config=config.scene, seed=rng.integers(0, 2**31 - 1)
+    )
+
+    train_X, train_y, train_f, next_frame = _collect_signatures(
+        scene, config, rng, config.target_train, start_frame=0, strategy=strategy
+    )
+    # A gap between the two halves mirrors the paper's temporal split
+    # (training uses the first 30 minutes, testing comes later).
+    test_X, test_y, test_f, _ = _collect_signatures(
+        scene,
+        config,
+        rng,
+        config.target_test,
+        start_frame=next_frame + 100,
+        strategy=strategy,
+    )
+
+    dataset = SurveillanceDataset(
+        train_signatures=train_X,
+        train_labels=train_y,
+        test_signatures=test_X,
+        test_labels=test_y,
+        train_frames=train_f,
+        test_frames=test_f,
+        n_bits=config.n_bits,
+        config=config,
+    )
+    if use_cache and cache_key[-1] is not None:
+        _DATASET_CACHE[cache_key] = dataset
+    return dataset

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so downstream users can catch a single base class at
+API boundaries while still being able to distinguish configuration mistakes
+from data problems and hardware-model violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters.
+
+    Examples include a SOM with zero neurons, a histogram with a
+    non-positive number of bins, or an FPGA design whose vector width does
+    not match the configured image size.
+    """
+
+
+class DimensionMismatchError(ReproError):
+    """An input vector's length does not match what the model expects."""
+
+    def __init__(self, expected: int, actual: int, what: str = "input vector"):
+        self.expected = int(expected)
+        self.actual = int(actual)
+        self.what = what
+        super().__init__(
+            f"{what} has length {actual}, but the model expects length {expected}"
+        )
+
+
+class NotFittedError(ReproError):
+    """A model was asked to predict or label before it was trained."""
+
+
+class DataError(ReproError):
+    """Input data is malformed (wrong dtype, empty, non-binary values...)."""
+
+
+class HardwareModelError(ReproError):
+    """The cycle-accurate hardware simulation was driven incorrectly.
+
+    Raised for protocol violations such as presenting a new pattern while
+    the winner-take-all block is still busy, or configuring a design that
+    does not fit on the selected device.
+    """
+
+
+class DeviceCapacityError(HardwareModelError):
+    """A synthesised design exceeds the resources of the target device."""
+
+    def __init__(self, resource: str, required: int, available: int):
+        self.resource = resource
+        self.required = int(required)
+        self.available = int(available)
+        super().__init__(
+            f"design requires {required} {resource}, but the device only has "
+            f"{available}"
+        )
+
+
+class TrackingError(ReproError):
+    """The object tracker was driven with inconsistent frame data."""

@@ -1,0 +1,67 @@
+"""Evaluation harness: metrics, statistics and per-table experiment runners.
+
+* :mod:`repro.eval.metrics` -- recognition accuracy, per-class accuracy and
+  confusion matrices (the paper's headline metric is overall recognition
+  accuracy on 1,139 held-out signatures).
+* :mod:`repro.eval.stats` -- the one-tailed Wilcoxon rank-sum test used in
+  Table II, implemented from first principles (and cross-checked against
+  scipy in the test suite).
+* :mod:`repro.eval.experiments` -- runnable reproductions of every table
+  and figure in the paper; each returns a plain dataclass of results that
+  the benchmarks and the ``paper_tables`` example render.
+* :mod:`repro.eval.reporting` -- plain-text table rendering used by the
+  examples and EXPERIMENTS.md.
+"""
+
+from repro.eval.metrics import (
+    accuracy,
+    per_class_accuracy,
+    confusion_matrix,
+    ClassificationReport,
+    classification_report,
+)
+from repro.eval.stats import (
+    WilcoxonResult,
+    wilcoxon_rank_sum,
+    rank_sum_statistic,
+    normal_sf,
+)
+from repro.eval.experiments import (
+    Table1Config,
+    Table1Result,
+    Table1Row,
+    run_table1,
+    Table2Row,
+    run_table2,
+    NeuronSweepConfig,
+    NeuronSweepRow,
+    run_neuron_sweep,
+    Figure3Result,
+    run_figure3,
+)
+from repro.eval.reporting import format_table, format_markdown_table
+
+__all__ = [
+    "accuracy",
+    "per_class_accuracy",
+    "confusion_matrix",
+    "ClassificationReport",
+    "classification_report",
+    "WilcoxonResult",
+    "wilcoxon_rank_sum",
+    "rank_sum_statistic",
+    "normal_sf",
+    "Table1Config",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "Table2Row",
+    "run_table2",
+    "NeuronSweepConfig",
+    "NeuronSweepRow",
+    "run_neuron_sweep",
+    "Figure3Result",
+    "run_figure3",
+    "format_table",
+    "format_markdown_table",
+]

@@ -1,0 +1,114 @@
+"""Classification metrics for the identification experiments.
+
+The paper reports a single overall recognition accuracy ("the bSOM
+recognition has less than 15.97% error"); the richer per-class breakdown and
+confusion matrix here are used by the examples and by the error analysis in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def _validate_labels(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.ndim != 1 or y_pred.ndim != 1:
+        raise DataError("labels must be one-dimensional arrays")
+    if y_true.shape != y_pred.shape:
+        raise DataError(
+            f"true and predicted labels have different lengths "
+            f"({y_true.shape[0]} vs {y_pred.shape[0]})"
+        )
+    if y_true.size == 0:
+        raise DataError("cannot compute metrics on empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of predictions that exactly match the true label."""
+    y_true, y_pred = _validate_labels(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def per_class_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> dict[int, float]:
+    """Recognition accuracy restricted to each true class."""
+    y_true, y_pred = _validate_labels(y_true, y_pred)
+    result: dict[int, float] = {}
+    for label in np.unique(y_true):
+        members = y_true == label
+        result[int(label)] = float(np.mean(y_pred[members] == label))
+    return result
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Confusion matrix ``C[i, j]`` = count of true label ``i`` predicted ``j``.
+
+    Returns ``(matrix, labels)`` where ``labels`` gives the row/column order.
+    Predicted labels not present in ``labels`` (e.g. the ``-1`` unknown
+    label when it never appears among the true labels) get their own column
+    appended at the end.
+    """
+    y_true, y_pred = _validate_labels(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {int(label): i for i, label in enumerate(labels)}
+    matrix = np.zeros((labels.size, labels.size), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[int(t)], index[int(p)]] += 1
+    return matrix, labels
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Summary of a classification run.
+
+    Attributes
+    ----------
+    accuracy:
+        Overall recognition accuracy.
+    error_rate:
+        ``1 - accuracy`` (the paper quotes this as "less than 15.97% error").
+    per_class:
+        Accuracy for each true class.
+    confusion:
+        Confusion matrix in the order given by :attr:`labels`.
+    labels:
+        Class labels indexing the confusion matrix.
+    n_samples:
+        Number of evaluated signatures.
+    rejected_fraction:
+        Fraction of predictions that were the unknown label (-1).
+    """
+
+    accuracy: float
+    error_rate: float
+    per_class: dict[int, float]
+    confusion: np.ndarray
+    labels: np.ndarray
+    n_samples: int
+    rejected_fraction: float
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> ClassificationReport:
+    """Build a :class:`ClassificationReport` from true and predicted labels."""
+    y_true, y_pred = _validate_labels(y_true, y_pred)
+    overall = accuracy(y_true, y_pred)
+    matrix, labels = confusion_matrix(y_true, y_pred)
+    return ClassificationReport(
+        accuracy=overall,
+        error_rate=1.0 - overall,
+        per_class=per_class_accuracy(y_true, y_pred),
+        confusion=matrix,
+        labels=labels,
+        n_samples=int(y_true.size),
+        rejected_fraction=float(np.mean(y_pred == -1)),
+    )

@@ -1,0 +1,61 @@
+"""Plain-text and markdown table rendering for experiment results.
+
+The examples and EXPERIMENTS.md use these helpers to print results in a
+layout that can be compared side by side with the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import DataError
+
+
+def _normalise_rows(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> list[list[str]]:
+    rendered: list[list[str]] = []
+    width = len(headers)
+    for row in rows:
+        cells = ["" if cell is None else str(cell) for cell in row]
+        if len(cells) != width:
+            raise DataError(
+                f"row has {len(cells)} cells but the table has {width} columns"
+            )
+        rendered.append(cells)
+    return rendered
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with column-aligned cells."""
+    if not headers:
+        raise DataError("a table needs at least one column")
+    rendered = _normalise_rows(headers, rows)
+    widths = [len(str(h)) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table (used by EXPERIMENTS.md)."""
+    if not headers:
+        raise DataError("a table needs at least one column")
+    rendered = _normalise_rows(headers, rows)
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rendered:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def format_percentage(value: float, decimals: int = 2) -> str:
+    """Format a fraction as a percentage string (``0.8532 -> '85.32%'``)."""
+    return f"{100.0 * value:.{decimals}f}%"

@@ -1,0 +1,68 @@
+"""Cycle-accurate behavioural model of the paper's FPGA architecture.
+
+Section V of the paper describes a Virtex-4 (XC4VLX160) design made of five
+blocks -- weight initialisation, pattern input, winner-take-all (Hamming
+distance + comparator tree), neighbourhood update and VGA display -- clocked
+at 40 MHz.  This subpackage models that architecture at cycle granularity:
+
+* :mod:`repro.hw.clock` -- clock domain and cycle/time accounting,
+* :mod:`repro.hw.lfsr` -- the LFSR pseudo-random bit generators used by the
+  weight initialisation block (and by the stochastic neighbourhood rule),
+* :mod:`repro.hw.bram` -- a BlockRAM model with capacity accounting
+  (RAMB16 primitives),
+* :mod:`repro.hw.blocks` -- one module per hardware block,
+* :mod:`repro.hw.fpga_bsom` -- the integrated design (figure 4), exposing
+  the same query interface as the software bSOM so results can be compared
+  bit-for-bit,
+* :mod:`repro.hw.resources` -- analytic resource estimation reproducing
+  Table IV,
+* :mod:`repro.hw.device` -- the device database (XC4VLX160 and relatives),
+* :mod:`repro.hw.throughput` -- the timing/throughput model behind the
+  25,000 signatures/second claim.
+"""
+
+from repro.hw.clock import ClockDomain
+from repro.hw.lfsr import Lfsr
+from repro.hw.bram import BlockRam, BlockRamBank
+from repro.hw.device import FpgaDevice, VIRTEX4_XC4VLX160, DEVICES
+from repro.hw.resources import (
+    ResourceEstimate,
+    ResourceReport,
+    estimate_resources,
+    PAPER_TABLE4,
+)
+from repro.hw.throughput import ThroughputModel, ThroughputReport
+from repro.hw.fpga_bsom import FpgaBsomConfig, FpgaBsomDesign, RecognitionTrace
+from repro.hw.blocks import (
+    WeightInitialisationBlock,
+    PatternInputBlock,
+    HammingDistanceUnit,
+    WinnerTakeAllUnit,
+    NeighbourhoodUpdateBlock,
+    VgaDisplayBlock,
+)
+
+__all__ = [
+    "ClockDomain",
+    "Lfsr",
+    "BlockRam",
+    "BlockRamBank",
+    "FpgaDevice",
+    "VIRTEX4_XC4VLX160",
+    "DEVICES",
+    "ResourceEstimate",
+    "ResourceReport",
+    "estimate_resources",
+    "PAPER_TABLE4",
+    "ThroughputModel",
+    "ThroughputReport",
+    "FpgaBsomConfig",
+    "FpgaBsomDesign",
+    "RecognitionTrace",
+    "WeightInitialisationBlock",
+    "PatternInputBlock",
+    "HammingDistanceUnit",
+    "WinnerTakeAllUnit",
+    "NeighbourhoodUpdateBlock",
+    "VgaDisplayBlock",
+]

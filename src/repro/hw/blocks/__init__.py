@@ -1,0 +1,32 @@
+"""The five hardware blocks of the FPGA design (figure 4).
+
+Each module models one block of the paper's architecture:
+
+* :mod:`repro.hw.blocks.weight_init` -- random weight initialisation
+  (section V-A; 768 cycles),
+* :mod:`repro.hw.blocks.pattern_input` -- the camera/pattern input shift
+  register (section V-B; 768 cycles),
+* :mod:`repro.hw.blocks.hamming_unit` -- the bit-serial parallel Hamming
+  distance computation (section V-C; 768 cycles for all 40 neurons),
+* :mod:`repro.hw.blocks.wta` -- the comparator-tree winner-take-all unit
+  (figure 5; 7 cycles for 40 neurons),
+* :mod:`repro.hw.blocks.neighbourhood` -- the neighbourhood selection and
+  neuron update unit (section V-D),
+* :mod:`repro.hw.blocks.display` -- the VGA output block (section V-E).
+"""
+
+from repro.hw.blocks.weight_init import WeightInitialisationBlock
+from repro.hw.blocks.pattern_input import PatternInputBlock
+from repro.hw.blocks.hamming_unit import HammingDistanceUnit
+from repro.hw.blocks.wta import WinnerTakeAllUnit
+from repro.hw.blocks.neighbourhood import NeighbourhoodUpdateBlock
+from repro.hw.blocks.display import VgaDisplayBlock
+
+__all__ = [
+    "WeightInitialisationBlock",
+    "PatternInputBlock",
+    "HammingDistanceUnit",
+    "WinnerTakeAllUnit",
+    "NeighbourhoodUpdateBlock",
+    "VgaDisplayBlock",
+]

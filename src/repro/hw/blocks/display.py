@@ -1,0 +1,108 @@
+"""VGA output display block (section V-E).
+
+"The output display block displays the neurons (weights) as a binary image
+on an external Video Graphics Array (VGA) for visual verification.  It runs
+in parallel with the input and WTA blocks.  It runs at the refresh rate for
+the VGA used, typically 60Hz."
+
+The model renders each neuron's weight vector as a small binary tile (the
+32x24 image the signature was streamed in as) arranged in a grid, producing
+the frame a monitor would show.  ``#`` bits are rendered at an intermediate
+grey level so the "visual verification" the paper mentions can distinguish
+committed from wildcard bits.  Because the block runs in its own refresh
+loop it never charges cycles to the training/recognition path; it only
+reports how many pixel clocks one refresh costs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError, HardwareModelError
+
+
+class VgaDisplayBlock:
+    """Renders the neuron weights as a tiled binary image.
+
+    Parameters
+    ----------
+    n_neurons:
+        Number of neurons to display.
+    tile_shape:
+        ``(rows, cols)`` of each neuron's weight image (24x32 in the paper).
+    resolution:
+        VGA output resolution ``(height, width)``.
+    refresh_hz:
+        Monitor refresh rate.
+    """
+
+    def __init__(
+        self,
+        n_neurons: int,
+        tile_shape: tuple[int, int] = (24, 32),
+        resolution: tuple[int, int] = (480, 640),
+        refresh_hz: float = 60.0,
+    ):
+        if n_neurons <= 0:
+            raise ConfigurationError(f"n_neurons must be positive, got {n_neurons}")
+        if refresh_hz <= 0:
+            raise ConfigurationError(f"refresh_hz must be positive, got {refresh_hz}")
+        rows, cols = tile_shape
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError(f"tile_shape must be positive, got {tile_shape}")
+        self.n_neurons = int(n_neurons)
+        self.tile_shape = (int(rows), int(cols))
+        self.resolution = (int(resolution[0]), int(resolution[1]))
+        self.refresh_hz = float(refresh_hz)
+        self.frames_rendered = 0
+
+    @property
+    def tiles_per_row(self) -> int:
+        """How many neuron tiles fit across the display."""
+        return max(self.resolution[1] // self.tile_shape[1], 1)
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        """``(rows, cols)`` of the neuron tile grid."""
+        cols = self.tiles_per_row
+        rows = int(math.ceil(self.n_neurons / cols))
+        return rows, cols
+
+    @property
+    def pixel_clocks_per_frame(self) -> int:
+        """Pixel clocks needed to scan one full frame."""
+        return self.resolution[0] * self.resolution[1]
+
+    def seconds_per_frame(self) -> float:
+        """Wall-clock time of one refresh at the configured rate."""
+        return 1.0 / self.refresh_hz
+
+    def render(self, value_plane: np.ndarray, care_plane: np.ndarray) -> np.ndarray:
+        """Render the weight planes into a greyscale frame.
+
+        Committed 1-bits render white (255), committed 0-bits black (0) and
+        ``#`` bits mid-grey (128).  The returned array has the tile grid's
+        size, not the full VGA resolution (the remainder of the frame is
+        blank and carries no information).
+        """
+        value_plane = np.asarray(value_plane, dtype=np.uint8)
+        care_plane = np.asarray(care_plane, dtype=np.uint8)
+        rows, cols = self.tile_shape
+        expected = (self.n_neurons, rows * cols)
+        if value_plane.shape != expected or care_plane.shape != expected:
+            raise HardwareModelError(
+                f"weight planes must have shape {expected}, got {value_plane.shape} "
+                f"and {care_plane.shape}"
+            )
+        grid_rows, grid_cols = self.grid_shape
+        frame = np.zeros((grid_rows * rows, grid_cols * cols), dtype=np.uint8)
+        for neuron in range(self.n_neurons):
+            tile = np.where(
+                care_plane[neuron] == 1, value_plane[neuron] * 255, 128
+            ).reshape(rows, cols)
+            r, c = divmod(neuron, grid_cols)
+            frame[r * rows : (r + 1) * rows, c * cols : (c + 1) * cols] = tile
+        self.frames_rendered += 1
+        return frame

@@ -1,0 +1,98 @@
+"""Bit-serial Hamming distance computation unit (section V-C, equation 3).
+
+"The Hamming distance between the input vector x and a neuron w_j ... is a
+bitwise operation, and hence takes as many clock cycles as there are bits in
+the input vector.  Since the Hamming distance for all the 40 neurons are
+computed in parallel, it takes exactly 768 clock cycles to compute the
+Hamming distance for all the neurons in the network."
+
+Components whose care bit is 0 (the ``#`` state) contribute nothing to the
+distance, exactly as in equation 3.  Each neuron's accumulator is
+``ceil(log2(n_bits + 1))`` bits wide -- 10 bits for 768, matching the
+"forty 10 bit Hamming distances" in figure 4.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError, HardwareModelError
+from repro.hw.clock import ClockDomain
+
+
+class HammingDistanceUnit:
+    """Computes masked Hamming distances for all neurons in parallel.
+
+    Parameters
+    ----------
+    n_neurons, n_bits:
+        Design dimensions.
+    bit_serial:
+        When ``True`` the unit iterates bit by bit exactly as the hardware
+        does (slower in simulation, used by the equivalence tests); when
+        ``False`` the result is computed vectorised while charging the same
+        number of cycles.
+    """
+
+    def __init__(self, n_neurons: int, n_bits: int, *, bit_serial: bool = False):
+        if n_neurons <= 0 or n_bits <= 0:
+            raise ConfigurationError("n_neurons and n_bits must be positive")
+        self.n_neurons = int(n_neurons)
+        self.n_bits = int(n_bits)
+        self.bit_serial = bool(bit_serial)
+
+    @property
+    def cycles_required(self) -> int:
+        """One cycle per bit, independent of the number of neurons."""
+        return self.n_bits
+
+    @property
+    def counter_width(self) -> int:
+        """Width of each per-neuron distance accumulator (10 bits for 768)."""
+        return int(math.ceil(math.log2(self.n_bits + 1)))
+
+    def compute(
+        self,
+        pattern: np.ndarray,
+        value_plane: np.ndarray,
+        care_plane: np.ndarray,
+        clock: ClockDomain | None = None,
+    ) -> np.ndarray:
+        """Return the masked Hamming distance of every neuron to ``pattern``.
+
+        Parameters
+        ----------
+        pattern:
+            Binary input vector of length ``n_bits``.
+        value_plane, care_plane:
+            ``(n_neurons, n_bits)`` binary matrices (the BlockRAM contents).
+        clock:
+            Optional clock to charge the ``n_bits`` cycles to.
+        """
+        pattern = np.asarray(pattern, dtype=np.uint8)
+        if pattern.shape != (self.n_bits,):
+            raise DimensionMismatchError(self.n_bits, pattern.size, "input pattern")
+        value_plane = np.asarray(value_plane, dtype=np.uint8)
+        care_plane = np.asarray(care_plane, dtype=np.uint8)
+        expected = (self.n_neurons, self.n_bits)
+        if value_plane.shape != expected or care_plane.shape != expected:
+            raise HardwareModelError(
+                f"weight planes must have shape {expected}, got "
+                f"{value_plane.shape} and {care_plane.shape}"
+            )
+        if self.bit_serial:
+            accumulators = np.zeros(self.n_neurons, dtype=np.int64)
+            for bit_index in range(self.n_bits):
+                mismatch = (value_plane[:, bit_index] != pattern[bit_index]) & (
+                    care_plane[:, bit_index] == 1
+                )
+                accumulators += mismatch
+            distances = accumulators
+        else:
+            mismatch = (value_plane != pattern[np.newaxis, :]) & (care_plane == 1)
+            distances = mismatch.sum(axis=1).astype(np.int64)
+        if clock is not None:
+            clock.tick(self.cycles_required)
+        return distances

@@ -1,0 +1,87 @@
+"""Weight initialisation block (section V-A).
+
+"This block is used to randomly initialize all the weight vectors in the
+network.  All the neurons in the network are initialized in parallel
+bit-by-bit; hence it takes as many clock cycles as there are bits in the
+binary input vector to complete the initialization."
+
+The model drives one LFSR per neuron (each with a distinct non-zero seed)
+and writes one bit of every neuron's weight vector per clock cycle into the
+value-plane BlockRAM, setting the care plane to all ones (the initial
+weights are plain random binary values; ``#`` states only appear later,
+through training).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.errors import ConfigurationError
+from repro.hw.bram import BlockRam
+from repro.hw.clock import ClockDomain
+from repro.hw.lfsr import Lfsr
+
+
+class WeightInitialisationBlock:
+    """Initialises all neurons with random binary weights, bit-serially.
+
+    Parameters
+    ----------
+    n_neurons, n_bits:
+        Design dimensions (40 neurons of 768 bits in the paper).
+    lfsr_width:
+        Width of each per-neuron LFSR.
+    seed:
+        Seed used to derive the per-neuron LFSR seeds.
+    """
+
+    def __init__(
+        self,
+        n_neurons: int,
+        n_bits: int,
+        *,
+        lfsr_width: int = 16,
+        seed: SeedLike = None,
+    ):
+        if n_neurons <= 0 or n_bits <= 0:
+            raise ConfigurationError("n_neurons and n_bits must be positive")
+        self.n_neurons = int(n_neurons)
+        self.n_bits = int(n_bits)
+        rng = as_generator(seed)
+        max_state = (1 << lfsr_width) - 1
+        self._lfsrs = [
+            Lfsr(width=lfsr_width, seed=int(rng.integers(1, max_state + 1)))
+            for _ in range(self.n_neurons)
+        ]
+
+    @property
+    def cycles_required(self) -> int:
+        """Exactly one cycle per weight bit (768 in the paper)."""
+        return self.n_bits
+
+    def run(
+        self,
+        value_plane: BlockRam,
+        care_plane: BlockRam,
+        clock: ClockDomain | None = None,
+    ) -> int:
+        """Initialise the weight memories; returns the cycles consumed."""
+        if value_plane.words != self.n_neurons or value_plane.word_width != self.n_bits:
+            raise ConfigurationError(
+                "value plane geometry does not match the design "
+                f"({value_plane.words}x{value_plane.word_width} vs "
+                f"{self.n_neurons}x{self.n_bits})"
+            )
+        if care_plane.words != self.n_neurons or care_plane.word_width != self.n_bits:
+            raise ConfigurationError("care plane geometry does not match the design")
+        values = np.zeros((self.n_neurons, self.n_bits), dtype=np.uint8)
+        for bit_index in range(self.n_bits):
+            for neuron, lfsr in enumerate(self._lfsrs):
+                values[neuron, bit_index] = lfsr.step()
+        for neuron in range(self.n_neurons):
+            value_plane.write(neuron, values[neuron])
+            care_plane.write(neuron, np.ones(self.n_bits, dtype=np.uint8))
+        if clock is not None:
+            clock.tick(self.cycles_required)
+        return self.cycles_required

@@ -1,0 +1,96 @@
+"""Winner-take-all comparator tree (section V-C, figure 5).
+
+"The design uses a series of comparators to select the minimum of a pair of
+two input Hamming distances.  For an implementation with 40 values, the
+design takes exactly seven clock cycles to compute the node with the minimum
+Hamming distance."
+
+The model builds a balanced binary comparator tree over the distances padded
+to the next power of two.  Each tree level takes one clock cycle, and a
+final register stage latches the winner, so a 40-neuron design needs
+``log2(64) + 1 = 7`` cycles, matching the paper.  Ties are broken towards
+the lower neuron index (the earlier input of each comparator pair wins),
+which is also the tie-break the software map uses, so hardware and software
+always agree on the winner.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.hw.clock import ClockDomain
+
+
+class WinnerTakeAllUnit:
+    """Selects the neuron with the minimum Hamming distance.
+
+    Parameters
+    ----------
+    n_neurons:
+        Number of distance inputs (40 in the paper).
+    """
+
+    def __init__(self, n_neurons: int):
+        if n_neurons <= 0:
+            raise ConfigurationError(f"n_neurons must be positive, got {n_neurons}")
+        self.n_neurons = int(n_neurons)
+
+    @property
+    def padded_inputs(self) -> int:
+        """Inputs padded to the next power of two (64 for 40 neurons)."""
+        return 1 << max(int(math.ceil(math.log2(self.n_neurons))), 0) if self.n_neurons > 1 else 1
+
+    @property
+    def tree_depth(self) -> int:
+        """Number of comparator levels in the tree."""
+        return int(math.log2(self.padded_inputs)) if self.padded_inputs > 1 else 0
+
+    @property
+    def cycles_required(self) -> int:
+        """One cycle per tree level plus the output register (7 for 40)."""
+        return self.tree_depth + 1
+
+    def comparators_per_stage(self) -> list[int]:
+        """Number of two-input comparators active in each tree level."""
+        counts = []
+        width = self.padded_inputs
+        while width > 1:
+            width //= 2
+            counts.append(width)
+        return counts
+
+    @property
+    def total_comparators(self) -> int:
+        """Total comparators instantiated by the tree."""
+        return sum(self.comparators_per_stage())
+
+    def select(
+        self, distances: np.ndarray, clock: ClockDomain | None = None
+    ) -> tuple[int, int]:
+        """Return ``(winner_index, minimum_distance)`` for ``distances``.
+
+        The reduction is performed level by level exactly as the comparator
+        tree would, so the tie-break behaviour is the hardware's.
+        """
+        distances = np.asarray(distances)
+        if distances.shape != (self.n_neurons,):
+            raise DimensionMismatchError(self.n_neurons, distances.size, "distance vector")
+        # Pad with a sentinel larger than any achievable distance.
+        sentinel = int(distances.max()) + 1 if distances.size else 1
+        padded = np.full(self.padded_inputs, sentinel, dtype=np.int64)
+        padded[: self.n_neurons] = distances
+        indices = np.arange(self.padded_inputs, dtype=np.int64)
+
+        while padded.size > 1:
+            left_values, right_values = padded[0::2], padded[1::2]
+            left_indices, right_indices = indices[0::2], indices[1::2]
+            take_left = left_values <= right_values
+            padded = np.where(take_left, left_values, right_values)
+            indices = np.where(take_left, left_indices, right_indices)
+
+        if clock is not None:
+            clock.tick(self.cycles_required)
+        return int(indices[0]), int(padded[0])

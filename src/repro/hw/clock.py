@@ -1,0 +1,76 @@
+"""Clock domain and cycle accounting for the hardware model.
+
+Every block in the FPGA design charges its work to a shared
+:class:`ClockDomain`; the integrated design then converts cycle counts into
+wall-clock time at the design's 40 MHz clock to reproduce the paper's
+throughput statements (25,000 signatures per second, training several
+thousand patterns in under a second).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: The paper's synthesised clock frequency (section V-E).
+PAPER_CLOCK_MHZ = 40.0
+
+
+class ClockDomain:
+    """A single clock domain with a monotonically increasing cycle counter.
+
+    Parameters
+    ----------
+    frequency_mhz:
+        Clock frequency in MHz (40 MHz in the paper's design, which also
+        drives the camera and VGA interfaces).
+    """
+
+    def __init__(self, frequency_mhz: float = PAPER_CLOCK_MHZ):
+        if frequency_mhz <= 0:
+            raise ConfigurationError(
+                f"frequency_mhz must be positive, got {frequency_mhz}"
+            )
+        self.frequency_mhz = float(frequency_mhz)
+        self._cycles = 0
+
+    @property
+    def frequency_hz(self) -> float:
+        """Clock frequency in Hz."""
+        return self.frequency_mhz * 1e6
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles elapsed since construction or the last reset."""
+        return self._cycles
+
+    @property
+    def period_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return 1e3 / self.frequency_mhz
+
+    def tick(self, cycles: int = 1) -> int:
+        """Advance the clock by ``cycles`` and return the new total."""
+        if cycles < 0:
+            raise ConfigurationError(f"cannot advance the clock by {cycles} cycles")
+        self._cycles += int(cycles)
+        return self._cycles
+
+    def reset(self) -> None:
+        """Reset the cycle counter to zero."""
+        self._cycles = 0
+
+    def elapsed_seconds(self, cycles: int | None = None) -> float:
+        """Convert ``cycles`` (default: the running total) into seconds."""
+        count = self._cycles if cycles is None else int(cycles)
+        if count < 0:
+            raise ConfigurationError(f"cycle count must be non-negative, got {count}")
+        return count / self.frequency_hz
+
+    def cycles_for_seconds(self, seconds: float) -> int:
+        """Number of whole cycles that fit in ``seconds``."""
+        if seconds < 0:
+            raise ConfigurationError(f"seconds must be non-negative, got {seconds}")
+        return int(seconds * self.frequency_hz)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClockDomain(frequency_mhz={self.frequency_mhz}, cycles={self._cycles})"

@@ -1,0 +1,131 @@
+"""FPGA device database.
+
+Table IV of the paper reports utilisation against the Virtex-4 XC4VLX160
+(package FF1148, speed grade -10).  The totals in that table are taken as
+the authoritative capacities for that part; a few sibling devices are
+included so the resource estimator can answer "would this design fit on a
+smaller part" questions (used by the hardware examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Capacity of one FPGA part.
+
+    Attributes
+    ----------
+    name:
+        Marketing part number.
+    flip_flops:
+        Number of slice flip-flops.
+    luts:
+        Number of 4-input LUTs.
+    bonded_iobs:
+        Number of bonded I/O blocks for the packaged part.
+    slices:
+        Number of slices.
+    ram16s:
+        Number of RAMB16 block memories.
+    logic_cells:
+        Marketing "logic cells" figure (the paper quotes ~152,064 for the
+        XC4VLX160).
+    embedded_ram_kbits:
+        Total embedded RAM in Kbits (the paper quotes 5,184 Kbits).
+    """
+
+    name: str
+    flip_flops: int
+    luts: int
+    bonded_iobs: int
+    slices: int
+    ram16s: int
+    logic_cells: int
+    embedded_ram_kbits: int
+
+    def capacity(self, resource: str) -> int:
+        """Look up a capacity by the resource names used in Table IV."""
+        mapping = {
+            "flip_flops": self.flip_flops,
+            "luts": self.luts,
+            "bonded_iobs": self.bonded_iobs,
+            "slices": self.slices,
+            "ram16s": self.ram16s,
+        }
+        if resource not in mapping:
+            raise ConfigurationError(
+                f"unknown resource {resource!r}; expected one of {sorted(mapping)}"
+            )
+        return mapping[resource]
+
+
+#: The paper's target device (Table IV totals).
+VIRTEX4_XC4VLX160 = FpgaDevice(
+    name="XC4VLX160",
+    flip_flops=135_168,
+    luts=135_168,
+    bonded_iobs=768,
+    slices=67_584,
+    ram16s=288,
+    logic_cells=152_064,
+    embedded_ram_kbits=5_184,
+)
+
+#: Smaller and larger siblings for what-if sizing questions.
+VIRTEX4_XC4VLX25 = FpgaDevice(
+    name="XC4VLX25",
+    flip_flops=21_504,
+    luts=21_504,
+    bonded_iobs=448,
+    slices=10_752,
+    ram16s=72,
+    logic_cells=24_192,
+    embedded_ram_kbits=1_296,
+)
+
+VIRTEX4_XC4VLX60 = FpgaDevice(
+    name="XC4VLX60",
+    flip_flops=53_248,
+    luts=53_248,
+    bonded_iobs=640,
+    slices=26_624,
+    ram16s=160,
+    logic_cells=59_904,
+    embedded_ram_kbits=2_880,
+)
+
+VIRTEX4_XC4VLX200 = FpgaDevice(
+    name="XC4VLX200",
+    flip_flops=178_176,
+    luts=178_176,
+    bonded_iobs=960,
+    slices=89_088,
+    ram16s=336,
+    logic_cells=200_448,
+    embedded_ram_kbits=6_048,
+)
+
+DEVICES: dict[str, FpgaDevice] = {
+    device.name: device
+    for device in (
+        VIRTEX4_XC4VLX25,
+        VIRTEX4_XC4VLX60,
+        VIRTEX4_XC4VLX160,
+        VIRTEX4_XC4VLX200,
+    )
+}
+
+
+def get_device(name: str) -> FpgaDevice:
+    """Look up a device by part number."""
+    try:
+        return DEVICES[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown device {name!r}; known devices: {sorted(DEVICES)}"
+        ) from exc

@@ -1,0 +1,103 @@
+"""Linear-feedback shift registers (the design's pseudo-random bit source).
+
+The weight-initialisation block loads every neuron with random bits, one bit
+per clock cycle (section V-A).  In hardware the cheapest way to do that is a
+maximal-length Fibonacci LFSR per neuron (or one LFSR whose taps are shared
+and whose seed differs per neuron).  This model implements a standard
+Fibonacci LFSR with configurable width and taps, plus the maximal-length tap
+sets for the common widths used by the tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Maximal-length tap positions (1-based, counted from the MSB like the
+#: classic XAPP052 table) for a few common register widths.
+MAXIMAL_TAPS: dict[int, tuple[int, ...]] = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    24: (24, 23, 22, 17),
+    32: (32, 22, 2, 1),
+}
+
+
+class Lfsr:
+    """A Fibonacci linear-feedback shift register.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits.
+    seed:
+        Initial register contents; must be non-zero (the all-zero state is
+        the LFSR's fixed point and never produces output).
+    taps:
+        1-based tap positions; defaults to a maximal-length set when the
+        width is in :data:`MAXIMAL_TAPS`.
+    """
+
+    def __init__(self, width: int = 16, seed: int = 0xACE1, taps: tuple[int, ...] | None = None):
+        if width <= 1:
+            raise ConfigurationError(f"width must be at least 2 bits, got {width}")
+        if taps is None:
+            if width not in MAXIMAL_TAPS:
+                raise ConfigurationError(
+                    f"no default maximal-length taps known for width {width}; "
+                    "pass taps explicitly"
+                )
+            taps = MAXIMAL_TAPS[width]
+        if not taps or any(t < 1 or t > width for t in taps):
+            raise ConfigurationError(
+                f"tap positions must lie in [1, {width}], got {taps}"
+            )
+        mask = (1 << width) - 1
+        seed &= mask
+        if seed == 0:
+            raise ConfigurationError("LFSR seed must be non-zero")
+        self.width = int(width)
+        self.taps = tuple(sorted(set(int(t) for t in taps), reverse=True))
+        self._mask = mask
+        self._state = seed
+
+    @property
+    def state(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    def step(self) -> int:
+        """Advance one cycle and return the output bit (the bit shifted out)."""
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self._state >> (self.width - tap)) & 1
+        output = self._state & 1
+        self._state = ((self._state >> 1) | (feedback << (self.width - 1))) & self._mask
+        return output
+
+    def bits(self, count: int) -> list[int]:
+        """Generate ``count`` successive output bits."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        return [self.step() for _ in range(count)]
+
+    def period(self, limit: int | None = None) -> int:
+        """Measure the sequence period by stepping until the state repeats.
+
+        ``limit`` bounds the search (default ``2**width``); used by the test
+        suite to confirm that the default tap sets are maximal length
+        (period ``2**width - 1``).
+        """
+        if limit is None:
+            limit = 1 << self.width
+        start = self._state
+        steps = 0
+        while steps < limit:
+            self.step()
+            steps += 1
+            if self._state == start:
+                return steps
+        return steps

@@ -1,0 +1,29 @@
+"""End-to-end identification pipeline (figure 1 / figure 6) and extensions.
+
+* :mod:`repro.pipeline.system` -- the complete chain the paper's figure 1
+  draws: video frames -> background differencing -> connected components ->
+  tracking -> colour histogram -> binary signature -> (FPGA or software)
+  bSOM -> object identity.
+* :mod:`repro.pipeline.online` -- the on-line learning extension described
+  in the paper's conclusion: novelty detection discovers unlabelled
+  objects, positional tracking collects their signatures, and the map is
+  updated and relabelled on-line once enough evidence has accumulated.
+"""
+
+from repro.pipeline.system import (
+    RecognitionSystem,
+    RecognitionSystemConfig,
+    FrameObservation,
+    TrackIdentity,
+)
+from repro.pipeline.online import OnlineLearner, OnlineLearnerConfig, OnlineUpdateReport
+
+__all__ = [
+    "RecognitionSystem",
+    "RecognitionSystemConfig",
+    "FrameObservation",
+    "TrackIdentity",
+    "OnlineLearner",
+    "OnlineLearnerConfig",
+    "OnlineUpdateReport",
+]

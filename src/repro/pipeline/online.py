@@ -1,0 +1,200 @@
+"""On-line learning extension (the paper's conclusion / future work).
+
+"A full implementation of an identification system would require on-line
+training and automatic labelling.  The additional stages required ... are:
+to use the novelty detection capability of the bSOM to identify
+previously-unlabelled objects; to use positional tracking to follow such
+objects for a period and to record the corresponding signatures; and to
+update the bSOM through on-line training when sufficient new signatures are
+available."
+
+:class:`OnlineLearner` implements exactly that loop on top of a fitted
+classifier:
+
+1. every incoming signature is checked against the rejection threshold;
+   novel signatures are buffered per track,
+2. once a track has accumulated ``min_signatures`` novel signatures, the
+   map is updated on-line (a few extra training passes restricted to those
+   signatures), a fresh label is allocated for the new object, and
+3. the affected neurons are relabelled from the accumulated evidence so the
+   object is recognised from then on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.classifier import SomClassifier, UNKNOWN_LABEL
+from repro.core.labelling import NodeLabeller
+from repro.core.novelty import NoveltyDetector, calibrate_rejection_threshold
+from repro.errors import ConfigurationError, NotFittedError
+
+
+@dataclass
+class OnlineLearnerConfig:
+    """Configuration of the on-line learning loop.
+
+    Attributes
+    ----------
+    min_signatures:
+        How many novel signatures a track must accumulate before the map is
+        updated (the paper's "when sufficient new signatures are
+        available").
+    online_epochs:
+        Training passes run over the accumulated signatures when the update
+        fires.
+    rejection_percentile, rejection_margin:
+        Parameters for calibrating the novelty threshold when the
+        classifier does not already have one.
+    """
+
+    min_signatures: int = 20
+    online_epochs: int = 3
+    rejection_percentile: float = 99.0
+    rejection_margin: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.min_signatures <= 0:
+            raise ConfigurationError(
+                f"min_signatures must be positive, got {self.min_signatures}"
+            )
+        if self.online_epochs <= 0:
+            raise ConfigurationError(
+                f"online_epochs must be positive, got {self.online_epochs}"
+            )
+
+
+@dataclass(frozen=True)
+class OnlineUpdateReport:
+    """Record of one on-line map update."""
+
+    track_id: int
+    new_label: int
+    signatures_used: int
+    neurons_relabelled: int
+
+
+class OnlineLearner:
+    """Adds automatic labelling of new objects to a fitted classifier.
+
+    Parameters
+    ----------
+    classifier:
+        A fitted :class:`SomClassifier` over a bSOM (the on-line update uses
+        the map's ``partial_fit``).
+    train_signatures, train_labels:
+        The original labelled training data, kept so that relabelling after
+        an on-line update does not forget the known objects.
+    config:
+        Loop configuration.
+    """
+
+    def __init__(
+        self,
+        classifier: SomClassifier,
+        train_signatures: np.ndarray,
+        train_labels: np.ndarray,
+        config: OnlineLearnerConfig | None = None,
+    ):
+        if classifier.labelling is None:
+            raise NotFittedError("the classifier must be fitted before on-line learning")
+        self.classifier = classifier
+        self.config = config or OnlineLearnerConfig()
+        self._X = np.asarray(train_signatures, dtype=np.uint8).copy()
+        self._y = np.asarray(train_labels, dtype=np.int64).copy()
+        threshold = classifier.rejection_threshold
+        if threshold is None:
+            threshold = calibrate_rejection_threshold(
+                classifier.som,
+                self._X,
+                percentile=self.config.rejection_percentile,
+                margin=self.config.rejection_margin,
+            )
+            classifier.rejection_threshold = threshold
+        self.detector = NoveltyDetector(classifier.som, threshold)
+        self._pending: dict[int, list[np.ndarray]] = defaultdict(list)
+        self._next_label = int(self._y.max()) + 1 if self._y.size else 0
+        self.updates: list[OnlineUpdateReport] = []
+
+    # ------------------------------------------------------------------ #
+    # Streaming interface
+    # ------------------------------------------------------------------ #
+    def observe(self, track_id: int, signature: np.ndarray) -> int:
+        """Process one signature from one track.
+
+        Returns the current identity decision for the signature: a known
+        label, a newly created label (after an on-line update), or
+        :data:`UNKNOWN_LABEL` while evidence is still being accumulated.
+        """
+        signature = np.asarray(signature, dtype=np.uint8)
+        prediction = self.classifier.predict_one(signature)
+        if prediction.label != UNKNOWN_LABEL and not self.detector.is_novel(signature):
+            return prediction.label
+
+        # Novel: buffer the signature against its track.
+        self._pending[track_id].append(signature.copy())
+        if len(self._pending[track_id]) >= self.config.min_signatures:
+            return self._learn_track(track_id)
+        return UNKNOWN_LABEL
+
+    def _learn_track(self, track_id: int) -> int:
+        """Fold a track's accumulated novel signatures into the map."""
+        signatures = np.vstack(self._pending.pop(track_id))
+        new_label = self._next_label
+        self._next_label += 1
+
+        # On-line training: a few passes over just the new signatures.
+        som = self.classifier.som
+        for epoch in range(self.config.online_epochs):
+            for row in signatures:
+                som.partial_fit(row, epoch, self.config.online_epochs)
+
+        # Extend the labelled pool and relabel every neuron from scratch so
+        # known objects keep their labels and the new object gets its own.
+        new_labels = np.full(signatures.shape[0], new_label, dtype=np.int64)
+        self._X = np.vstack([self._X, signatures])
+        self._y = np.concatenate([self._y, new_labels])
+        labelling = NodeLabeller().label(som, self._X, self._y)
+        previous = self.classifier.labelling
+        self.classifier.labelling = labelling
+        relabelled = (
+            int(np.count_nonzero(labelling.node_labels != previous.node_labels))
+            if previous is not None
+            else som.n_neurons
+        )
+
+        # Recalibrate the rejection threshold over the extended pool.
+        threshold = calibrate_rejection_threshold(
+            som,
+            self._X,
+            percentile=self.config.rejection_percentile,
+            margin=self.config.rejection_margin,
+        )
+        self.classifier.rejection_threshold = threshold
+        self.detector = NoveltyDetector(som, threshold)
+
+        self.updates.append(
+            OnlineUpdateReport(
+                track_id=track_id,
+                new_label=new_label,
+                signatures_used=int(signatures.shape[0]),
+                neurons_relabelled=relabelled,
+            )
+        )
+        return new_label
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def known_labels(self) -> np.ndarray:
+        """All labels the classifier can currently produce."""
+        return np.unique(self._y)
+
+    def pending_counts(self) -> dict[int, int]:
+        """Novel signatures buffered per track, awaiting an update."""
+        return {track: len(rows) for track, rows in self._pending.items()}

@@ -1,0 +1,222 @@
+"""The end-to-end object recognition system of figure 1 / figure 6.
+
+The paper's deployment splits the work between a CPU-side tracking system
+(segmentation, connected components, histogram extraction) and the FPGA
+(the bSOM identification).  :class:`RecognitionSystem` reproduces the whole
+chain in one object:
+
+1. background differencing segments moving pixels,
+2. morphology cleans the mask,
+3. connected-components labelling and the minimum-size filter produce
+   candidate silhouettes,
+4. the tracker associates silhouettes with persistent track ids,
+5. each silhouette's colour histogram is binarised into a 768-bit
+   signature, and
+6. a trained classifier (software bSOM, cSOM, or the cycle-accurate FPGA
+   model through its software-compatible interface) assigns an identity,
+   with per-track majority voting to smooth single-frame errors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.classifier import SomClassifier, UNKNOWN_LABEL
+from repro.errors import ConfigurationError, NotFittedError
+from repro.signatures.binarize import MeanThreshold, ThresholdStrategy
+from repro.signatures.histogram import rgb_histogram
+from repro.signatures.binarize import binarize_histogram
+from repro.signatures.signature import BinarySignature
+from repro.vision.background import BackgroundSubtractor
+from repro.vision.blobs import Blob, extract_blobs, filter_blobs_by_area
+from repro.vision.connected_components import ConnectedComponentLabeller
+from repro.vision.frame import Frame
+from repro.vision.morphology import binary_close, binary_open
+from repro.vision.tracker import ObjectTracker
+
+
+@dataclass
+class RecognitionSystemConfig:
+    """Configuration of the end-to-end pipeline.
+
+    Attributes
+    ----------
+    difference_threshold:
+        Background-differencing threshold (0-255).
+    morphology_radius:
+        Radius of the opening/closing applied to the foreground mask.
+    min_blob_area:
+        Minimum silhouette size in pixels (the paper's rule scaled to the
+        frame size; see :mod:`repro.vision.blobs`).
+    bins_per_channel:
+        Histogram resolution (256 in the paper, 768-bit signatures).
+    vote_window:
+        Number of recent per-frame identity votes kept per track for the
+        majority decision.
+    """
+
+    difference_threshold: float = 28.0
+    morphology_radius: int = 1
+    min_blob_area: int = 150
+    bins_per_channel: int = 256
+    vote_window: int = 15
+
+    def __post_init__(self) -> None:
+        if self.min_blob_area < 0:
+            raise ConfigurationError(
+                f"min_blob_area must be non-negative, got {self.min_blob_area}"
+            )
+        if self.vote_window <= 0:
+            raise ConfigurationError(
+                f"vote_window must be positive, got {self.vote_window}"
+            )
+
+
+@dataclass(frozen=True)
+class FrameObservation:
+    """One identified object in one frame."""
+
+    frame_index: int
+    track_id: int
+    label: int
+    distance: float
+    signature: BinarySignature
+    blob: Blob
+
+
+@dataclass
+class TrackIdentity:
+    """Accumulated identity evidence for one track."""
+
+    track_id: int
+    votes: list[int] = field(default_factory=list)
+
+    def add_vote(self, label: int, window: int) -> None:
+        self.votes.append(int(label))
+        if len(self.votes) > window:
+            del self.votes[: len(self.votes) - window]
+
+    @property
+    def label(self) -> int:
+        """Majority label over the retained votes (unknown if no votes)."""
+        if not self.votes:
+            return UNKNOWN_LABEL
+        counts = Counter(self.votes)
+        label, _ = counts.most_common(1)[0]
+        return int(label)
+
+
+class RecognitionSystem:
+    """Figure-1 pipeline: frames in, identified tracks out.
+
+    Parameters
+    ----------
+    classifier:
+        A fitted :class:`~repro.core.classifier.SomClassifier` (its SOM may
+        be the software bSOM, the cSOM baseline, or the FPGA model wrapped
+        through :meth:`repro.hw.fpga_bsom.FpgaBsomDesign.to_software`).
+    config:
+        Pipeline configuration.
+    strategy:
+        Histogram binarisation rule (paper: mean threshold).
+    """
+
+    def __init__(
+        self,
+        classifier: SomClassifier,
+        config: RecognitionSystemConfig | None = None,
+        strategy: ThresholdStrategy | None = None,
+    ):
+        if classifier.labelling is None:
+            raise NotFittedError(
+                "the classifier must be fitted (or labelled) before building the "
+                "recognition system"
+            )
+        self.classifier = classifier
+        self.config = config or RecognitionSystemConfig()
+        self.strategy = strategy or MeanThreshold()
+        self.subtractor = BackgroundSubtractor(
+            threshold=self.config.difference_threshold
+        )
+        self.labeller = ConnectedComponentLabeller(connectivity=8)
+        self.tracker = ObjectTracker()
+        self._identities: dict[int, TrackIdentity] = defaultdict(
+            lambda: TrackIdentity(track_id=-1)
+        )
+        self.frames_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Per-frame processing
+    # ------------------------------------------------------------------ #
+    def initialise_background(self, image: np.ndarray) -> None:
+        """Prime the background model with a clean plate."""
+        self.subtractor.initialise(image)
+
+    def segment(self, image: np.ndarray) -> list[Blob]:
+        """Segment candidate object silhouettes from one frame."""
+        foreground = self.subtractor.apply(image)
+        if self.config.morphology_radius > 0:
+            foreground = binary_close(
+                binary_open(foreground, self.config.morphology_radius),
+                self.config.morphology_radius,
+            )
+        labels, count = self.labeller.label(foreground)
+        blobs = extract_blobs(labels, count)
+        return filter_blobs_by_area(blobs, self.config.min_blob_area)
+
+    def extract_signature(self, image: np.ndarray, blob: Blob) -> BinarySignature:
+        """Colour histogram + mean-threshold binarisation for one blob."""
+        histogram = rgb_histogram(image, blob.mask, self.config.bins_per_channel)
+        bits = binarize_histogram(histogram, self.strategy)
+        return BinarySignature(bits=bits)
+
+    def process_frame(self, frame: Frame) -> list[FrameObservation]:
+        """Run the full pipeline on one frame and return the identifications."""
+        blobs = self.segment(frame.image)
+        assignments = self.tracker.update(frame.index, blobs)
+        observations: list[FrameObservation] = []
+        for track_id, blob in assignments.items():
+            signature = self.extract_signature(frame.image, blob)
+            prediction = self.classifier.predict_one(signature.bits)
+            identity = self._identities[track_id]
+            identity.track_id = track_id
+            identity.add_vote(prediction.label, self.config.vote_window)
+            observations.append(
+                FrameObservation(
+                    frame_index=frame.index,
+                    track_id=track_id,
+                    label=prediction.label,
+                    distance=prediction.distance,
+                    signature=signature,
+                    blob=blob,
+                )
+            )
+        self.frames_processed += 1
+        return observations
+
+    def process_sequence(self, frames) -> list[FrameObservation]:
+        """Process an iterable of frames and return all observations."""
+        observations: list[FrameObservation] = []
+        for frame in frames:
+            observations.extend(self.process_frame(frame))
+        return observations
+
+    # ------------------------------------------------------------------ #
+    # Track-level results
+    # ------------------------------------------------------------------ #
+    def track_identity(self, track_id: int) -> int:
+        """Majority-vote identity of a track (unknown if never observed)."""
+        if track_id not in self._identities:
+            return UNKNOWN_LABEL
+        return self._identities[track_id].label
+
+    def track_identities(self) -> dict[int, int]:
+        """Majority-vote identity of every track seen so far."""
+        return {
+            track_id: identity.label
+            for track_id, identity in self._identities.items()
+        }

@@ -1,0 +1,73 @@
+"""Binary appearance signatures extracted from colour histograms.
+
+This subpackage implements section III-A of the paper: a segmented moving
+object's silhouette is summarised as a 768-bin RGB colour histogram (256
+bins per channel), which is then binarised by thresholding every bin at the
+mean bin count (equations 1 and 2).  The resulting 768-bit *binary
+signature* is the only representation the bSOM ever sees.
+
+Public API
+----------
+
+:class:`ColourHistogram`
+    Accumulates an RGB histogram from silhouette pixels.
+:func:`rgb_histogram`
+    One-shot histogram extraction from an image + mask.
+:func:`binarize_histogram`
+    Mean-threshold binarisation (equation 1/2 of the paper).
+:func:`extract_signature`
+    Convenience: image + mask -> packed binary signature.
+:class:`BinarySignature`
+    Immutable value object wrapping a binary vector with helpers for
+    packing, Hamming distance and reshaping to the 32x24 image the FPGA
+    design streams in.
+"""
+
+from repro.signatures.histogram import (
+    ColourHistogram,
+    HISTOGRAM_BINS,
+    BINS_PER_CHANNEL,
+    rgb_histogram,
+)
+from repro.signatures.binarize import (
+    ThresholdStrategy,
+    MeanThreshold,
+    MedianThreshold,
+    FixedFractionThreshold,
+    binarize_histogram,
+    mean_threshold,
+)
+from repro.signatures.packing import (
+    pack_bits,
+    unpack_bits,
+    signature_to_image,
+    image_to_signature,
+)
+from repro.signatures.signature import BinarySignature, extract_signature
+from repro.signatures.features import (
+    ExtendedFeatureExtractor,
+    ShapeFeatures,
+    shape_features,
+)
+
+__all__ = [
+    "ColourHistogram",
+    "HISTOGRAM_BINS",
+    "BINS_PER_CHANNEL",
+    "rgb_histogram",
+    "ThresholdStrategy",
+    "MeanThreshold",
+    "MedianThreshold",
+    "FixedFractionThreshold",
+    "binarize_histogram",
+    "mean_threshold",
+    "pack_bits",
+    "unpack_bits",
+    "signature_to_image",
+    "image_to_signature",
+    "BinarySignature",
+    "extract_signature",
+    "ExtendedFeatureExtractor",
+    "ShapeFeatures",
+    "shape_features",
+]

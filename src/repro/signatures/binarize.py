@@ -1,0 +1,130 @@
+"""Histogram binarisation strategies (equations 1 and 2 of the paper).
+
+The paper converts a histogram into a binary signature by thresholding every
+bin at the mean bin count::
+
+    theta = sum(bin_i) / n_bins          (equation 1)
+    x_i   = 1 if bin_i >= theta else 0   (equation 2)
+
+The mean threshold is the paper's choice; :class:`MedianThreshold` and
+:class:`FixedFractionThreshold` are provided for the ablation study on the
+binarisation rule (see ``benchmarks/test_ablation_threshold.py``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+
+
+def _validate_histogram(histogram: np.ndarray) -> np.ndarray:
+    histogram = np.asarray(histogram, dtype=np.float64)
+    if histogram.ndim != 1:
+        raise DataError(
+            f"expected a one-dimensional histogram, got shape {histogram.shape}"
+        )
+    if histogram.size == 0:
+        raise DataError("cannot binarise an empty histogram")
+    if np.any(histogram < 0):
+        raise DataError("histogram bins must be non-negative")
+    return histogram
+
+
+class ThresholdStrategy(ABC):
+    """Strategy object that maps a histogram to a scalar threshold."""
+
+    @abstractmethod
+    def threshold(self, histogram: np.ndarray) -> float:
+        """Return the threshold value ``theta`` for ``histogram``."""
+
+    def binarize(self, histogram: np.ndarray) -> np.ndarray:
+        """Binarise ``histogram``: 1 where ``bin >= theta``, else 0."""
+        histogram = _validate_histogram(histogram)
+        theta = self.threshold(histogram)
+        return (histogram >= theta).astype(np.uint8)
+
+    def __call__(self, histogram: np.ndarray) -> np.ndarray:
+        return self.binarize(histogram)
+
+
+class MeanThreshold(ThresholdStrategy):
+    """The paper's rule: threshold at the mean of all bins (equation 1)."""
+
+    def threshold(self, histogram: np.ndarray) -> float:
+        histogram = _validate_histogram(histogram)
+        return float(histogram.mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MeanThreshold()"
+
+
+class MedianThreshold(ThresholdStrategy):
+    """Ablation alternative: threshold at the median bin count.
+
+    For the sparse histograms produced by small silhouettes the median is
+    frequently zero, which makes every non-empty bin fire; the ablation
+    benchmark quantifies how much worse this is than the mean rule.
+    """
+
+    def threshold(self, histogram: np.ndarray) -> float:
+        histogram = _validate_histogram(histogram)
+        return float(np.median(histogram))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MedianThreshold()"
+
+
+class FixedFractionThreshold(ThresholdStrategy):
+    """Ablation alternative: keep the top ``fraction`` of bins set.
+
+    The threshold is chosen as the ``(1 - fraction)`` quantile of the bin
+    counts, so roughly ``fraction * n_bins`` bits end up set regardless of
+    the silhouette size.  This gives signatures of near-constant weight,
+    which is convenient for hardware but discards the object-size cue the
+    mean rule keeps.
+    """
+
+    def __init__(self, fraction: float = 0.25):
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(
+                f"fraction must lie strictly between 0 and 1, got {fraction}"
+            )
+        self.fraction = float(fraction)
+
+    def threshold(self, histogram: np.ndarray) -> float:
+        histogram = _validate_histogram(histogram)
+        return float(np.quantile(histogram, 1.0 - self.fraction))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedFractionThreshold(fraction={self.fraction})"
+
+
+def mean_threshold(histogram: np.ndarray) -> float:
+    """Equation 1: the mean bin count of ``histogram``."""
+    return MeanThreshold().threshold(histogram)
+
+
+def binarize_histogram(
+    histogram: np.ndarray,
+    strategy: ThresholdStrategy | None = None,
+) -> np.ndarray:
+    """Convert ``histogram`` into a binary vector (equation 2).
+
+    Parameters
+    ----------
+    histogram:
+        One-dimensional array of non-negative bin counts.
+    strategy:
+        Threshold rule; defaults to the paper's :class:`MeanThreshold`.
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``uint8`` vector of zeros and ones with the same length as
+        ``histogram``.
+    """
+    strategy = strategy or MeanThreshold()
+    return strategy.binarize(histogram)

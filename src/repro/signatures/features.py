@@ -1,0 +1,147 @@
+"""Extended invariant appearance features (paper's future-work section).
+
+The conclusion of the paper lists "the use of more sophisticated invariant
+features for identification" as future work.  This module provides a modest
+realisation of that extension: simple shape statistics of the silhouette
+(area, aspect ratio, fill ratio, vertical profile) that can be binarised and
+appended to the colour signature.  The extension is exercised by the
+``online_learning`` example and its own tests, and keeps the same binary
+representation so the bSOM consumes it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.signatures.binarize import MeanThreshold, ThresholdStrategy
+
+
+@dataclass(frozen=True)
+class ShapeFeatures:
+    """Scalar shape statistics of a silhouette mask.
+
+    Attributes
+    ----------
+    area:
+        Number of foreground pixels.
+    height, width:
+        Bounding-box dimensions (zero for an empty mask).
+    aspect_ratio:
+        ``height / width`` (zero for an empty mask).
+    fill_ratio:
+        ``area / (height * width)`` -- how much of the bounding box the
+        silhouette occupies.
+    vertical_profile:
+        Fraction of foreground pixels in each of ``profile_bands``
+        horizontal bands of the bounding box (head/torso/legs style cue).
+    """
+
+    area: int
+    height: int
+    width: int
+    aspect_ratio: float
+    fill_ratio: float
+    vertical_profile: tuple[float, ...]
+
+
+def shape_features(mask: np.ndarray, profile_bands: int = 8) -> ShapeFeatures:
+    """Compute :class:`ShapeFeatures` for a boolean silhouette ``mask``."""
+    mask = np.asarray(mask)
+    if mask.ndim != 2:
+        raise DataError(f"expected a 2-D mask, got shape {mask.shape}")
+    if profile_bands <= 0:
+        raise ConfigurationError(f"profile_bands must be positive, got {profile_bands}")
+    mask = mask.astype(bool)
+    area = int(mask.sum())
+    if area == 0:
+        return ShapeFeatures(
+            area=0,
+            height=0,
+            width=0,
+            aspect_ratio=0.0,
+            fill_ratio=0.0,
+            vertical_profile=tuple(0.0 for _ in range(profile_bands)),
+        )
+    rows = np.any(mask, axis=1)
+    cols = np.any(mask, axis=0)
+    top, bottom = np.flatnonzero(rows)[[0, -1]]
+    left, right = np.flatnonzero(cols)[[0, -1]]
+    height = int(bottom - top + 1)
+    width = int(right - left + 1)
+    box = mask[top : bottom + 1, left : right + 1]
+    band_edges = np.linspace(0, height, profile_bands + 1).astype(int)
+    profile = []
+    for i in range(profile_bands):
+        band = box[band_edges[i] : band_edges[i + 1]]
+        profile.append(float(band.sum()) / float(area))
+    return ShapeFeatures(
+        area=area,
+        height=height,
+        width=width,
+        aspect_ratio=float(height) / float(width),
+        fill_ratio=float(area) / float(height * width),
+        vertical_profile=tuple(profile),
+    )
+
+
+class ExtendedFeatureExtractor:
+    """Produce an extended binary signature: colour histogram + shape bits.
+
+    The colour part follows the paper exactly; the shape part quantises each
+    shape statistic into ``bits_per_feature`` thermometer-coded bits so that
+    Hamming distance remains meaningful (adjacent quantisation levels differ
+    by a single bit).
+    """
+
+    def __init__(
+        self,
+        bins_per_channel: int = 256,
+        bits_per_feature: int = 8,
+        profile_bands: int = 8,
+        strategy: ThresholdStrategy | None = None,
+    ):
+        if bits_per_feature <= 0:
+            raise ConfigurationError(
+                f"bits_per_feature must be positive, got {bits_per_feature}"
+            )
+        self.bins_per_channel = bins_per_channel
+        self.bits_per_feature = bits_per_feature
+        self.profile_bands = profile_bands
+        self.strategy = strategy or MeanThreshold()
+
+    @property
+    def signature_length(self) -> int:
+        """Total length of the extended signature in bits."""
+        shape_scalars = 3 + self.profile_bands  # aspect, fill, norm. area + profile
+        return 3 * self.bins_per_channel + shape_scalars * self.bits_per_feature
+
+    def _thermometer(self, value: float, low: float, high: float) -> np.ndarray:
+        """Thermometer-code ``value`` within ``[low, high]``."""
+        span = max(high - low, 1e-12)
+        level = int(round((np.clip(value, low, high) - low) / span * self.bits_per_feature))
+        bits = np.zeros(self.bits_per_feature, dtype=np.uint8)
+        bits[:level] = 1
+        return bits
+
+    def extract(self, image: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Return the extended binary signature for ``image`` under ``mask``."""
+        from repro.signatures.histogram import rgb_histogram
+        from repro.signatures.binarize import binarize_histogram
+
+        histogram = rgb_histogram(image, mask, self.bins_per_channel)
+        colour_bits = binarize_histogram(histogram, self.strategy)
+        shape = shape_features(mask, self.profile_bands)
+        image_area = float(mask.shape[0] * mask.shape[1])
+        pieces = [
+            colour_bits,
+            self._thermometer(shape.aspect_ratio, 0.0, 4.0),
+            self._thermometer(shape.fill_ratio, 0.0, 1.0),
+            self._thermometer(shape.area / image_area, 0.0, 0.5),
+        ]
+        pieces.extend(
+            self._thermometer(band, 0.0, 0.5) for band in shape.vertical_profile
+        )
+        return np.concatenate(pieces).astype(np.uint8)

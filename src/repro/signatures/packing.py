@@ -1,0 +1,87 @@
+"""Bit packing helpers and the 32x24 image view of a signature.
+
+The FPGA design (section V-B of the paper) streams each 768-bit signature in
+as a 32x24 binary image, one bit per clock cycle.  These helpers convert
+between the three representations used throughout the library:
+
+* an unpacked ``uint8`` vector of zeros and ones (the software view),
+* a packed ``uint8`` byte array (the storage / BlockRAM view), and
+* a 2-D binary image (the camera-interface / VGA-display view).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+#: Default image shape the FPGA design streams signatures as (width x height).
+SIGNATURE_IMAGE_SHAPE = (24, 32)  # rows, columns -> 768 bits
+
+
+def _validate_bits(bits: np.ndarray) -> np.ndarray:
+    bits = np.asarray(bits)
+    if bits.ndim != 1:
+        raise DataError(f"expected a one-dimensional bit vector, got shape {bits.shape}")
+    if bits.size == 0:
+        raise DataError("bit vector must not be empty")
+    values = np.unique(bits)
+    if not np.all(np.isin(values, (0, 1))):
+        raise DataError("bit vector must contain only zeros and ones")
+    return bits.astype(np.uint8)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a vector of zeros and ones into bytes (big-endian within a byte).
+
+    The packed form is what the BlockRAM model in :mod:`repro.hw` stores:
+    768 bits fit in 96 bytes per neuron.
+    """
+    bits = _validate_bits(bits)
+    return np.packbits(bits)
+
+
+def unpack_bits(packed: np.ndarray, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns exactly ``length`` bits."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if length <= 0:
+        raise DataError(f"length must be positive, got {length}")
+    bits = np.unpackbits(packed)
+    if bits.size < length:
+        raise DataError(
+            f"packed buffer holds only {bits.size} bits but {length} were requested"
+        )
+    return bits[:length].astype(np.uint8)
+
+
+def signature_to_image(
+    bits: np.ndarray, shape: tuple[int, int] = SIGNATURE_IMAGE_SHAPE
+) -> np.ndarray:
+    """Reshape a flat signature into the binary image the FPGA streams.
+
+    Parameters
+    ----------
+    bits:
+        Flat binary vector whose length must equal ``shape[0] * shape[1]``.
+    shape:
+        ``(rows, columns)`` of the image; default 24x32 = 768 bits.
+    """
+    bits = _validate_bits(bits)
+    rows, cols = shape
+    if bits.size != rows * cols:
+        raise DataError(
+            f"signature of length {bits.size} cannot be reshaped to {rows}x{cols}"
+        )
+    return bits.reshape(rows, cols)
+
+
+def image_to_signature(image: np.ndarray) -> np.ndarray:
+    """Flatten a binary image back into a signature vector (row-major).
+
+    Row-major order matches the raster scan the pattern-input block uses
+    when it reads bits from the camera interface.
+    """
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise DataError(f"expected a 2-D binary image, got shape {image.shape}")
+    return _validate_bits(image.reshape(-1))

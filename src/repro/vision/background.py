@@ -1,0 +1,141 @@
+"""Background modelling and foreground segmentation.
+
+The paper's upstream pipeline segments moving objects by *background
+differencing* (the companion paper [2] accelerates exactly this stage on
+FPGA).  This module provides a classic running-average background model
+with a per-pixel difference threshold:
+
+* the background estimate is updated as an exponential moving average of
+  the incoming frames, restricted to pixels currently classified as
+  background so that slow lighting drift is absorbed but loitering objects
+  are not, and
+* a pixel is foreground when the maximum absolute difference over the RGB
+  channels exceeds ``threshold``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+
+
+class BackgroundModel:
+    """Exponential running-average background estimate.
+
+    Parameters
+    ----------
+    learning_rate:
+        Fraction of the new frame blended into the background estimate each
+        update (``alpha`` in the classic formulation).
+    selective:
+        When ``True`` (default) only pixels classified as background are
+        updated, so stationary foreground objects do not get absorbed.
+    """
+
+    def __init__(self, learning_rate: float = 0.02, selective: bool = True):
+        if not 0.0 < learning_rate <= 1.0:
+            raise ConfigurationError(
+                f"learning_rate must lie in (0, 1], got {learning_rate}"
+            )
+        self.learning_rate = float(learning_rate)
+        self.selective = bool(selective)
+        self._estimate: np.ndarray | None = None
+
+    @property
+    def initialised(self) -> bool:
+        """Whether at least one frame has been absorbed."""
+        return self._estimate is not None
+
+    @property
+    def estimate(self) -> np.ndarray:
+        """Current background estimate as a uint8 image."""
+        if self._estimate is None:
+            raise DataError("background model has not seen any frames yet")
+        return np.clip(self._estimate, 0, 255).astype(np.uint8)
+
+    def initialise(self, image: np.ndarray) -> None:
+        """Set the background estimate directly from a clean plate."""
+        image = self._validate(image)
+        self._estimate = image.astype(np.float64)
+
+    def update(self, image: np.ndarray, foreground: np.ndarray | None = None) -> None:
+        """Blend ``image`` into the estimate.
+
+        Parameters
+        ----------
+        image:
+            New frame.
+        foreground:
+            Optional boolean mask of pixels to exclude from the update
+            (only honoured when the model is selective).
+        """
+        image = self._validate(image).astype(np.float64)
+        if self._estimate is None:
+            self._estimate = image
+            return
+        alpha = self.learning_rate
+        if self.selective and foreground is not None:
+            foreground = np.asarray(foreground, dtype=bool)
+            if foreground.shape != image.shape[:2]:
+                raise DataError(
+                    f"foreground mask shape {foreground.shape} does not match frame "
+                    f"shape {image.shape[:2]}"
+                )
+            blend = np.where(foreground[..., np.newaxis], 0.0, alpha)
+        else:
+            blend = alpha
+        self._estimate = (1.0 - blend) * self._estimate + blend * image
+
+    @staticmethod
+    def _validate(image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image)
+        if image.ndim != 3 or image.shape[2] != 3:
+            raise DataError(f"expected an HxWx3 frame, got shape {image.shape}")
+        return image
+
+
+class BackgroundSubtractor:
+    """Foreground segmentation by thresholded background differencing.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum per-channel absolute difference (0-255) for a pixel to be
+        declared foreground.
+    learning_rate, selective:
+        Forwarded to the underlying :class:`BackgroundModel`.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 28.0,
+        *,
+        learning_rate: float = 0.02,
+        selective: bool = True,
+    ):
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive, got {threshold}")
+        self.threshold = float(threshold)
+        self.model = BackgroundModel(learning_rate=learning_rate, selective=selective)
+
+    def initialise(self, image: np.ndarray) -> None:
+        """Initialise the background from a clean plate (no moving objects)."""
+        self.model.initialise(image)
+
+    def apply(self, image: np.ndarray) -> np.ndarray:
+        """Segment ``image``; returns the boolean foreground mask.
+
+        The model is updated after segmentation (selectively, if enabled),
+        so calling :meth:`apply` frame after frame tracks lighting drift.
+        """
+        image = BackgroundModel._validate(image)
+        if not self.model.initialised:
+            self.model.initialise(image)
+            return np.zeros(image.shape[:2], dtype=bool)
+        difference = np.abs(
+            image.astype(np.int16) - self.model.estimate.astype(np.int16)
+        ).max(axis=2)
+        foreground = difference > self.threshold
+        self.model.update(image, foreground)
+        return foreground

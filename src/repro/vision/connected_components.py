@@ -1,0 +1,135 @@
+"""Two-pass connected-components labelling with union-find.
+
+Connected components analysis is the second stage of the paper's upstream
+pipeline (and the subject of the authors' companion FPGA paper [2]).  This
+is the classic two-pass algorithm:
+
+1. scan the mask in raster order, assigning provisional labels and
+   recording equivalences between neighbouring labels in a union-find
+   structure, then
+2. re-scan, replacing each provisional label with the representative of its
+   equivalence class and compacting labels to ``1..n``.
+
+Both 4- and 8-connectivity are supported; the default is 8-connectivity,
+which is what silhouette extraction wants (diagonal limb pixels stay part
+of the same person).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by rank."""
+
+    def __init__(self) -> None:
+        self._parent: list[int] = []
+        self._rank: list[int] = []
+
+    def make_set(self) -> int:
+        """Create a new singleton set and return its element id."""
+        element = len(self._parent)
+        self._parent.append(element)
+        self._rank.append(0)
+        return element
+
+    def find(self, element: int) -> int:
+        """Return the representative of ``element``'s set (with compression)."""
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets containing ``a`` and ``b``; return the new root."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        return root_a
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+class ConnectedComponentLabeller:
+    """Two-pass connected-components labeller.
+
+    Parameters
+    ----------
+    connectivity:
+        4 or 8 (default 8).
+    """
+
+    def __init__(self, connectivity: int = 8):
+        if connectivity not in (4, 8):
+            raise ConfigurationError(
+                f"connectivity must be 4 or 8, got {connectivity}"
+            )
+        self.connectivity = connectivity
+
+    def label(self, mask: np.ndarray) -> tuple[np.ndarray, int]:
+        """Label ``mask``; returns ``(labels, count)``.
+
+        ``labels`` has the same shape as ``mask`` with background pixels 0
+        and each connected foreground region numbered ``1..count``.
+        """
+        mask = np.asarray(mask)
+        if mask.ndim != 2:
+            raise DataError(f"expected a 2-D binary mask, got shape {mask.shape}")
+        mask = mask.astype(bool)
+        height, width = mask.shape
+        provisional = np.zeros((height, width), dtype=np.int64)
+        uf = UnionFind()
+        uf.make_set()  # element 0 is the background label
+
+        if self.connectivity == 4:
+            neighbour_offsets = ((-1, 0), (0, -1))
+        else:
+            neighbour_offsets = ((-1, -1), (-1, 0), (-1, 1), (0, -1))
+
+        for row in range(height):
+            for col in range(width):
+                if not mask[row, col]:
+                    continue
+                neighbour_labels = []
+                for dy, dx in neighbour_offsets:
+                    nr, nc = row + dy, col + dx
+                    if 0 <= nr < height and 0 <= nc < width and provisional[nr, nc]:
+                        neighbour_labels.append(provisional[nr, nc])
+                if not neighbour_labels:
+                    provisional[row, col] = uf.make_set()
+                else:
+                    smallest = min(neighbour_labels)
+                    provisional[row, col] = smallest
+                    for other in neighbour_labels:
+                        uf.union(smallest, other)
+
+        # Second pass: map provisional labels to compact 1..n representatives.
+        representative_of: dict[int, int] = {}
+        labels = np.zeros((height, width), dtype=np.int64)
+        next_label = 0
+        rows, cols = np.nonzero(provisional)
+        for row, col in zip(rows, cols):
+            root = uf.find(int(provisional[row, col]))
+            label = representative_of.get(root)
+            if label is None:
+                next_label += 1
+                label = next_label
+                representative_of[root] = label
+            labels[row, col] = label
+        return labels, next_label
+
+
+def label_components(mask: np.ndarray, connectivity: int = 8) -> tuple[np.ndarray, int]:
+    """Convenience wrapper: label ``mask`` and return ``(labels, count)``."""
+    return ConnectedComponentLabeller(connectivity).label(mask)

@@ -1,0 +1,97 @@
+"""Frame and video-sequence containers used throughout the vision substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+@dataclass
+class Frame:
+    """A single video frame with optional ground-truth annotations.
+
+    Attributes
+    ----------
+    index:
+        Zero-based frame number within its sequence.
+    image:
+        ``HxWx3`` RGB image (uint8).
+    truth_masks:
+        Optional mapping from ground-truth object identity to its boolean
+        silhouette in this frame.  Only populated by the synthetic scene
+        generator; real pipelines leave it empty.
+    timestamp:
+        Capture time in seconds from the start of the sequence (the paper's
+        camera runs at 30 fps).
+    """
+
+    index: int
+    image: np.ndarray
+    truth_masks: dict[int, np.ndarray] = field(default_factory=dict)
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        image = np.asarray(self.image)
+        if image.ndim != 3 or image.shape[2] != 3:
+            raise DataError(
+                f"frame image must be HxWx3, got shape {image.shape}"
+            )
+        self.image = image.astype(np.uint8)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(height, width)`` of the frame."""
+        return self.image.shape[:2]
+
+    def truth_identities(self) -> list[int]:
+        """Identities present in this frame (sorted, ground truth only)."""
+        return sorted(self.truth_masks)
+
+
+class VideoSequence:
+    """An in-memory, iterable sequence of :class:`Frame` objects.
+
+    The synthetic generator yields frames lazily; this container is used
+    whenever a fixed sequence needs to be replayed (for example to compare
+    a software and a hardware run on identical input).
+    """
+
+    def __init__(self, frames: Optional[list[Frame]] = None, fps: float = 30.0):
+        if fps <= 0:
+            raise DataError(f"fps must be positive, got {fps}")
+        self.fps = float(fps)
+        self._frames: list[Frame] = []
+        for frame in frames or []:
+            self.append(frame)
+
+    def append(self, frame: Frame) -> None:
+        """Append a frame, checking the resolution is consistent."""
+        if self._frames and frame.shape != self._frames[0].shape:
+            raise DataError(
+                f"frame {frame.index} has shape {frame.shape}, expected "
+                f"{self._frames[0].shape}"
+            )
+        self._frames.append(frame)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self._frames)
+
+    def __getitem__(self, index: int) -> Frame:
+        return self._frames[index]
+
+    @property
+    def duration_seconds(self) -> float:
+        """Length of the sequence in seconds at its frame rate."""
+        return len(self._frames) / self.fps
+
+    @property
+    def resolution(self) -> Optional[tuple[int, int]]:
+        """``(height, width)`` of the frames, or ``None`` when empty."""
+        return self._frames[0].shape if self._frames else None

@@ -1,0 +1,232 @@
+"""Frame-to-frame object tracker.
+
+The paper's identification stage sits on top of "a robust tracking
+algorithm capable of extracting the colour histogram for every moving
+object" (Owens et al.).  This module implements a compact, model-free
+tracker in that spirit:
+
+* blobs in each new frame are matched to existing tracks by greedy
+  nearest-centroid assignment, gated by a maximum movement distance and a
+  loose area-ratio check,
+* unmatched blobs open new tracks,
+* tracks that go unmatched are kept alive for a configurable number of
+  frames (so a person passing behind furniture keeps their identity) and
+  are closed afterwards.
+
+The tracker's job in this library is to group the per-frame silhouettes of
+the same physical object so their binary signatures can be associated with
+one track id -- which is exactly what the FPGA identification stage consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TrackingError
+from repro.vision.blobs import Blob
+
+
+class TrackState(Enum):
+    """Lifecycle state of a track."""
+
+    ACTIVE = "active"
+    LOST = "lost"
+    CLOSED = "closed"
+
+
+@dataclass
+class Track:
+    """A single tracked object.
+
+    Attributes
+    ----------
+    track_id:
+        Persistent identifier assigned by the tracker.
+    centroid:
+        Last known ``(row, column)`` position.
+    area:
+        Last known silhouette area.
+    state:
+        Current lifecycle state.
+    age:
+        Number of frames since the track was opened.
+    missed_frames:
+        Consecutive frames without a matching blob.
+    history:
+        Frame indices at which the track was observed.
+    last_blob:
+        The most recent matched blob (``None`` while lost).
+    """
+
+    track_id: int
+    centroid: tuple[float, float]
+    area: int
+    state: TrackState = TrackState.ACTIVE
+    age: int = 0
+    missed_frames: int = 0
+    history: list[int] = field(default_factory=list)
+    last_blob: Optional[Blob] = None
+
+    def distance_to(self, blob: Blob) -> float:
+        """Euclidean centroid distance from this track to ``blob``."""
+        dy = self.centroid[0] - blob.centroid[0]
+        dx = self.centroid[1] - blob.centroid[1]
+        return float(np.hypot(dy, dx))
+
+
+class ObjectTracker:
+    """Greedy nearest-neighbour blob tracker.
+
+    Parameters
+    ----------
+    max_distance:
+        Maximum centroid movement (pixels) for a blob to match a track.
+    max_missed_frames:
+        How many consecutive frames a track may go unobserved before it is
+        closed.
+    max_area_ratio:
+        Maximum allowed ratio between matched areas (larger / smaller); a
+        loose gate that stops a person being matched onto a tiny noise blob.
+    """
+
+    def __init__(
+        self,
+        max_distance: float = 25.0,
+        max_missed_frames: int = 10,
+        max_area_ratio: float = 4.0,
+    ):
+        if max_distance <= 0:
+            raise ConfigurationError(f"max_distance must be positive, got {max_distance}")
+        if max_missed_frames < 0:
+            raise ConfigurationError(
+                f"max_missed_frames must be non-negative, got {max_missed_frames}"
+            )
+        if max_area_ratio < 1.0:
+            raise ConfigurationError(
+                f"max_area_ratio must be at least 1, got {max_area_ratio}"
+            )
+        self.max_distance = float(max_distance)
+        self.max_missed_frames = int(max_missed_frames)
+        self.max_area_ratio = float(max_area_ratio)
+        self._tracks: dict[int, Track] = {}
+        self._next_id = 1
+        self._last_frame_index: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def tracks(self) -> list[Track]:
+        """All tracks that are not closed (active + lost)."""
+        return [t for t in self._tracks.values() if t.state != TrackState.CLOSED]
+
+    @property
+    def active_tracks(self) -> list[Track]:
+        """Tracks matched in the most recent update."""
+        return [t for t in self._tracks.values() if t.state == TrackState.ACTIVE]
+
+    @property
+    def closed_tracks(self) -> list[Track]:
+        """Tracks that have been terminated."""
+        return [t for t in self._tracks.values() if t.state == TrackState.CLOSED]
+
+    def track(self, track_id: int) -> Track:
+        """Look up a track by id."""
+        try:
+            return self._tracks[track_id]
+        except KeyError as exc:
+            raise TrackingError(f"no track with id {track_id}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Update
+    # ------------------------------------------------------------------ #
+    def _area_compatible(self, track: Track, blob: Blob) -> bool:
+        larger = max(track.area, blob.area)
+        smaller = max(min(track.area, blob.area), 1)
+        return larger / smaller <= self.max_area_ratio
+
+    def update(self, frame_index: int, blobs: list[Blob]) -> dict[int, Blob]:
+        """Advance the tracker by one frame.
+
+        Parameters
+        ----------
+        frame_index:
+            Index of the frame the blobs came from; must be strictly
+            increasing across calls.
+        blobs:
+            Size-filtered blobs detected in this frame.
+
+        Returns
+        -------
+        dict
+            Mapping of ``track_id -> blob`` for every blob, including blobs
+            that opened a brand-new track this frame.
+        """
+        if self._last_frame_index is not None and frame_index <= self._last_frame_index:
+            raise TrackingError(
+                f"frame index {frame_index} is not after the previous frame "
+                f"{self._last_frame_index}"
+            )
+        self._last_frame_index = frame_index
+
+        open_tracks = [t for t in self._tracks.values() if t.state != TrackState.CLOSED]
+        assignments: dict[int, Blob] = {}
+        unmatched_blobs = list(blobs)
+
+        # Greedy assignment: repeatedly take the globally closest
+        # (track, blob) pair that passes the gates.
+        candidate_pairs: list[tuple[float, Track, Blob]] = []
+        for track in open_tracks:
+            for blob in unmatched_blobs:
+                distance = track.distance_to(blob)
+                if distance <= self.max_distance and self._area_compatible(track, blob):
+                    candidate_pairs.append((distance, track, blob))
+        candidate_pairs.sort(key=lambda pair: pair[0])
+
+        matched_tracks: set[int] = set()
+        matched_blob_ids: set[int] = set()
+        for distance, track, blob in candidate_pairs:
+            if track.track_id in matched_tracks or id(blob) in matched_blob_ids:
+                continue
+            matched_tracks.add(track.track_id)
+            matched_blob_ids.add(id(blob))
+            track.centroid = blob.centroid
+            track.area = blob.area
+            track.state = TrackState.ACTIVE
+            track.missed_frames = 0
+            track.history.append(frame_index)
+            track.last_blob = blob
+            assignments[track.track_id] = blob
+
+        # Unmatched existing tracks age and eventually close.
+        for track in open_tracks:
+            track.age += 1
+            if track.track_id in matched_tracks:
+                continue
+            track.missed_frames += 1
+            track.last_blob = None
+            if track.missed_frames > self.max_missed_frames:
+                track.state = TrackState.CLOSED
+            else:
+                track.state = TrackState.LOST
+
+        # Unmatched blobs open new tracks.
+        for blob in unmatched_blobs:
+            if id(blob) in matched_blob_ids:
+                continue
+            track = Track(
+                track_id=self._next_id,
+                centroid=blob.centroid,
+                area=blob.area,
+                history=[frame_index],
+                last_blob=blob,
+            )
+            self._tracks[track.track_id] = track
+            assignments[track.track_id] = blob
+            self._next_id += 1
+
+        return assignments

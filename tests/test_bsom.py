@@ -1,0 +1,183 @@
+"""Unit tests for the tri-state binary SOM."""
+
+import numpy as np
+import pytest
+
+from repro.core.bsom import BinarySom, BsomUpdateRule
+from repro.core.topology import ConstantNeighbourhoodSchedule, RingTopology
+from repro.core.tristate import DONT_CARE, TriStateWeights
+from repro.errors import ConfigurationError, DataError, DimensionMismatchError
+
+
+@pytest.fixture()
+def small_bsom():
+    return BinarySom(n_neurons=8, n_bits=32, seed=0)
+
+
+class TestConstruction:
+    def test_initial_weights_are_binary(self, small_bsom):
+        assert small_bsom.weights.dont_care_fraction() == 0.0
+
+    def test_dont_care_initialisation(self):
+        som = BinarySom(8, 64, dont_care_probability=0.5, seed=1)
+        assert 0.3 < som.weights.dont_care_fraction() < 0.7
+
+    def test_seed_reproducibility(self):
+        a = BinarySom(8, 32, seed=5)
+        b = BinarySom(8, 32, seed=5)
+        assert a.weights == b.weights
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            BinarySom(0, 32)
+        with pytest.raises(ConfigurationError):
+            BinarySom(8, 0)
+
+    def test_topology_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            BinarySom(8, 32, topology=RingTopology(10))
+
+    def test_invalid_update_rule(self):
+        with pytest.raises(ConfigurationError):
+            BsomUpdateRule(winner_rule="bogus")
+        with pytest.raises(ConfigurationError):
+            BsomUpdateRule(neighbour_rule="bogus")
+        with pytest.raises(ConfigurationError):
+            BsomUpdateRule(neighbour_strength=0.0)
+
+
+class TestQueries:
+    def test_distances_shape(self, small_bsom, rng):
+        x = rng.integers(0, 2, 32)
+        assert small_bsom.distances(x).shape == (8,)
+
+    def test_winner_is_argmin(self, small_bsom, rng):
+        x = rng.integers(0, 2, 32)
+        distances = small_bsom.distances(x)
+        assert small_bsom.winner(x) == int(np.argmin(distances))
+
+    def test_winner_tie_break_prefers_lower_index(self):
+        som = BinarySom(3, 4, seed=0)
+        weights = TriStateWeights(np.array(
+            [[0, 0, 0, 0], [0, 0, 0, 0], [1, 1, 1, 1]], dtype=np.int8
+        ))
+        som.set_weights(weights)
+        assert som.winner(np.array([0, 0, 0, 0])) == 0
+
+    def test_input_validation(self, small_bsom):
+        with pytest.raises(DimensionMismatchError):
+            small_bsom.distances(np.zeros(16, dtype=np.int8))
+        with pytest.raises(DataError):
+            small_bsom.distances(np.full(32, 2))
+
+    def test_distance_matrix_matches_distances(self, small_bsom, rng):
+        X = rng.integers(0, 2, size=(10, 32))
+        matrix = small_bsom.distance_matrix(X)
+        for i, x in enumerate(X):
+            assert matrix[i].tolist() == small_bsom.distances(x).tolist()
+
+    def test_all_dont_care_neuron_wins_everything(self):
+        som = BinarySom(2, 8, seed=0)
+        values = np.ones((2, 8), dtype=np.int8)
+        values[1, :] = DONT_CARE
+        som.set_weights(TriStateWeights(values))
+        x = np.zeros(8, dtype=np.int8)
+        # The paper notes a neuron with all '#' has Hamming distance 0.
+        assert som.distances(x)[1] == 0
+        assert som.winner(x) == 1
+
+
+class TestWeightManagement:
+    def test_set_weights_roundtrip(self, small_bsom):
+        weights = small_bsom.weights
+        other = BinarySom(8, 32, seed=99)
+        other.set_weights(weights)
+        assert other.weights == weights
+
+    def test_set_weights_shape_check(self, small_bsom):
+        with pytest.raises(ConfigurationError):
+            small_bsom.set_weights(np.zeros((4, 32), dtype=np.int8))
+
+
+class TestTraining:
+    def test_partial_fit_returns_winner(self, small_bsom, rng):
+        x = rng.integers(0, 2, 32)
+        winner = small_bsom.partial_fit(x, 0, 10)
+        assert 0 <= winner < 8
+
+    def test_winner_update_full_rule(self):
+        """After a full-rule update the winner has no mismatching committed bits."""
+        som = BinarySom(4, 16, seed=0)
+        x = np.random.default_rng(1).integers(0, 2, 16).astype(np.int8)
+        winner = som.partial_fit(x, 0, 10)
+        row = som.weights.values[winner]
+        committed = row != DONT_CARE
+        assert np.all(row[committed] == x[committed])
+
+    def test_winner_update_resolves_dont_cares(self):
+        som = BinarySom(2, 8, seed=0, schedule=ConstantNeighbourhoodSchedule(0))
+        values = np.full((2, 8), DONT_CARE, dtype=np.int8)
+        values[1] = 1  # make neuron 0 the sure winner (distance 0)
+        som.set_weights(TriStateWeights(values))
+        x = np.array([0, 1, 0, 1, 0, 1, 0, 1], dtype=np.int8)
+        som.partial_fit(x, 0, 10)
+        assert som.weights.values[0].tolist() == x.tolist()
+
+    def test_mismatches_become_dont_care(self):
+        som = BinarySom(2, 4, seed=0, schedule=ConstantNeighbourhoodSchedule(0))
+        values = np.array([[1, 1, 0, 0], [1, 1, 1, 1]], dtype=np.int8)
+        som.set_weights(TriStateWeights(values))
+        x = np.array([0, 1, 0, 0], dtype=np.int8)
+        # Neuron 0 has distance 1, neuron 1 distance 3: neuron 0 wins.
+        som.partial_fit(x, 0, 10)
+        assert som.weights.values[0].tolist() == [DONT_CARE, 1, 0, 0]
+
+    def test_commit_rule_never_erodes(self):
+        rule = BsomUpdateRule(winner_rule="commit", neighbour_rule="commit")
+        som = BinarySom(4, 32, seed=0, update_rule=rule)
+        before = som.weights.dont_care_fraction()
+        X = np.random.default_rng(2).integers(0, 2, size=(50, 32))
+        som.fit(X, epochs=2, seed=3)
+        assert som.weights.dont_care_fraction() <= before
+
+    def test_fit_validates_epochs(self, small_bsom, rng):
+        X = rng.integers(0, 2, size=(10, 32))
+        with pytest.raises(ConfigurationError):
+            small_bsom.fit(X, epochs=0)
+
+    def test_fit_validates_data(self, small_bsom):
+        with pytest.raises(DataError):
+            small_bsom.fit(np.full((4, 32), 3), epochs=1)
+
+    def test_fit_records_history(self, rng):
+        som = BinarySom(8, 32, seed=0)
+        X = rng.integers(0, 2, size=(30, 32))
+        som.fit(X, epochs=3, seed=1, record_history=True)
+        assert som.history.epochs == 3
+        assert len(som.history.neighbourhood_radii) == 3
+        assert som.trained_epochs == 3
+
+    def test_training_reduces_quantisation_error(self, cluster_data):
+        X, _ = cluster_data
+        som = BinarySom(16, X.shape[1], seed=0)
+        before = som.quantisation_error(X)
+        som.fit(X, epochs=5, seed=1)
+        after = som.quantisation_error(X)
+        assert after < before
+
+    def test_training_is_reproducible(self, cluster_data):
+        X, _ = cluster_data
+        a = BinarySom(8, X.shape[1], seed=4).fit(X, epochs=3, seed=9)
+        b = BinarySom(8, X.shape[1], seed=4).fit(X, epochs=3, seed=9)
+        assert a.weights == b.weights
+
+    def test_neuron_usage_sums_to_samples(self, cluster_data):
+        X, _ = cluster_data
+        som = BinarySom(8, X.shape[1], seed=0).fit(X, epochs=2, seed=1)
+        assert som.neuron_usage(X).sum() == X.shape[0]
+
+    def test_stochastic_neighbour_rule_spreads_usage(self, cluster_data):
+        """The default rule must not collapse onto a single winning neuron."""
+        X, _ = cluster_data
+        som = BinarySom(16, X.shape[1], seed=0).fit(X, epochs=5, seed=1)
+        assert (som.neuron_usage(X) > 0).sum() >= 5

@@ -1,0 +1,128 @@
+"""Unit tests for the conventional Kohonen SOM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.csom import KohonenSom, LearningRateSchedule
+from repro.core.topology import RingTopology
+from repro.errors import ConfigurationError, DataError, DimensionMismatchError
+
+
+class TestLearningRateSchedule:
+    def test_linear_decay_endpoints(self):
+        schedule = LearningRateSchedule(initial=0.5, final=0.01)
+        assert schedule.rate(0, 100) == pytest.approx(0.5)
+        assert schedule.rate(99, 100) == pytest.approx(0.01)
+
+    def test_monotonically_decreasing(self):
+        schedule = LearningRateSchedule(initial=0.4, final=0.02)
+        rates = [schedule.rate(i, 50) for i in range(50)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_single_iteration_uses_initial(self):
+        schedule = LearningRateSchedule(initial=0.3, final=0.01)
+        assert schedule.rate(0, 1) == pytest.approx(0.3)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            LearningRateSchedule(initial=0.0)
+        with pytest.raises(ConfigurationError):
+            LearningRateSchedule(initial=0.5, final=0.6)
+
+    def test_invalid_iteration(self):
+        schedule = LearningRateSchedule()
+        with pytest.raises(ConfigurationError):
+            schedule.rate(5, 5)
+
+
+class TestKohonenSom:
+    def test_initial_weights_in_unit_interval(self):
+        som = KohonenSom(8, 32, seed=0)
+        assert som.weights.min() >= 0.0
+        assert som.weights.max() <= 1.0
+
+    def test_seed_reproducibility(self):
+        assert np.array_equal(KohonenSom(4, 16, seed=3).weights, KohonenSom(4, 16, seed=3).weights)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            KohonenSom(0, 16)
+        with pytest.raises(ConfigurationError):
+            KohonenSom(4, 16, neighbour_decay=0.0)
+        with pytest.raises(ConfigurationError):
+            KohonenSom(4, 16, topology=RingTopology(5))
+
+    def test_distances_are_squared_euclidean(self, rng):
+        som = KohonenSom(4, 8, seed=0)
+        x = rng.integers(0, 2, 8)
+        expected = ((som.weights - x) ** 2).sum(axis=1)
+        assert np.allclose(som.distances(x), expected)
+
+    def test_distance_matrix_matches_distances(self, rng):
+        som = KohonenSom(6, 16, seed=1)
+        X = rng.integers(0, 2, size=(5, 16))
+        matrix = som.distance_matrix(X)
+        for i, x in enumerate(X):
+            assert np.allclose(matrix[i], som.distances(x))
+
+    def test_input_validation(self):
+        som = KohonenSom(4, 8, seed=0)
+        with pytest.raises(DimensionMismatchError):
+            som.distances(np.zeros(9))
+        with pytest.raises(DataError):
+            som.distances(np.full(8, 0.5))
+
+    def test_winner_update_moves_towards_input(self, rng):
+        som = KohonenSom(4, 8, seed=0)
+        x = rng.integers(0, 2, 8)
+        winner = som.winner(x)
+        before = np.abs(som.weights[winner] - x).sum()
+        som.partial_fit(x, 0, 10)
+        after = np.abs(som.weights[winner] - x).sum()
+        assert after < before
+
+    def test_neurons_outside_radius_unchanged(self):
+        som = KohonenSom(10, 8, seed=0)
+        x = np.ones(8, dtype=np.int8)
+        winner = som.winner(x)
+        far = (winner + 7) % 10 if abs((winner + 7) % 10 - winner) > 4 else (winner + 5) % 10
+        before = som.weights[far].copy()
+        # Use the last iteration so the radius is 1.
+        som.partial_fit(x, 99, 100)
+        if abs(far - winner) > 1:
+            assert np.array_equal(som.weights[far], before)
+
+    def test_set_weights_roundtrip(self):
+        som = KohonenSom(4, 8, seed=0)
+        weights = som.weights
+        other = KohonenSom(4, 8, seed=9)
+        other.set_weights(weights)
+        assert np.array_equal(other.weights, weights)
+
+    def test_set_weights_shape_check(self):
+        with pytest.raises(ConfigurationError):
+            KohonenSom(4, 8, seed=0).set_weights(np.zeros((3, 8)))
+
+    def test_training_reduces_quantisation_error(self, cluster_data):
+        X, _ = cluster_data
+        som = KohonenSom(16, X.shape[1], seed=0)
+        before = som.quantisation_error(X)
+        som.fit(X, epochs=5, seed=1)
+        assert som.quantisation_error(X) < before
+
+    def test_training_is_reproducible(self, cluster_data):
+        X, _ = cluster_data
+        a = KohonenSom(8, X.shape[1], seed=4).fit(X, epochs=3, seed=9)
+        b = KohonenSom(8, X.shape[1], seed=4).fit(X, epochs=3, seed=9)
+        assert np.allclose(a.weights, b.weights)
+
+    def test_weights_stay_in_unit_cube_after_training(self, cluster_data):
+        X, _ = cluster_data
+        som = KohonenSom(8, X.shape[1], seed=0).fit(X, epochs=5, seed=1)
+        assert som.weights.min() >= 0.0
+        assert som.weights.max() <= 1.0
+
+    def test_neuron_usage_sums_to_samples(self, cluster_data):
+        X, _ = cluster_data
+        som = KohonenSom(8, X.shape[1], seed=0).fit(X, epochs=2, seed=1)
+        assert som.neuron_usage(X).sum() == X.shape[0]

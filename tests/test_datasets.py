@@ -1,0 +1,183 @@
+"""Unit tests for dataset construction, splits and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PAPER_IDENTITIES,
+    PAPER_TEST_SIGNATURES,
+    PAPER_TRAIN_SIGNATURES,
+    SegmentationNoiseModel,
+    SurveillanceDatasetConfig,
+    load_dataset,
+    make_signature_clusters,
+    make_surveillance_dataset,
+    save_dataset,
+    stratified_split,
+    temporal_split,
+)
+from repro.errors import ConfigurationError, DataError
+
+
+class TestSignatureClusters:
+    def test_shapes_and_labels(self):
+        X, y = make_signature_clusters(n_identities=4, samples_per_identity=10, n_bits=64, seed=0)
+        assert X.shape == (40, 64)
+        assert set(np.unique(y)) == {0, 1, 2, 3}
+        assert set(np.unique(X)).issubset({0, 1})
+
+    def test_clusters_are_separable(self):
+        X, y = make_signature_clusters(n_identities=3, samples_per_identity=30, n_bits=96, seed=1)
+        # Nearest-centroid classification should be near perfect on this toy data.
+        centroids = np.vstack([X[y == label].mean(axis=0) for label in range(3)])
+        predictions = np.argmin(
+            ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2), axis=1
+        )
+        assert (predictions == y).mean() > 0.95
+
+    def test_reproducible(self):
+        a = make_signature_clusters(seed=5)
+        b = make_signature_clusters(seed=5)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_signature_clusters(n_identities=0)
+        with pytest.raises(ConfigurationError):
+            make_signature_clusters(n_identities=10, core_bits=100, n_bits=500)
+        with pytest.raises(ConfigurationError):
+            make_signature_clusters(core_on_probability=1.5)
+
+
+class TestPaperConstants:
+    def test_paper_sizes(self):
+        assert PAPER_TRAIN_SIGNATURES == 2248
+        assert PAPER_TEST_SIGNATURES == 1139
+        assert PAPER_IDENTITIES == 9
+
+
+class TestSurveillanceDataset:
+    def test_structure(self, tiny_surveillance):
+        data = tiny_surveillance
+        assert data.n_bits == 768
+        assert data.train_signatures.shape[1] == 768
+        assert data.test_signatures.shape[1] == 768
+        assert data.train_signatures.shape[0] == data.train_labels.shape[0]
+        assert data.test_signatures.shape[0] == data.test_labels.shape[0]
+        assert set(np.unique(data.train_signatures)).issubset({0, 1})
+
+    def test_scaled_sizes(self, tiny_surveillance):
+        data = tiny_surveillance
+        assert data.n_train == pytest.approx(0.05 * PAPER_TRAIN_SIGNATURES, abs=15)
+        assert data.n_test == pytest.approx(0.05 * PAPER_TEST_SIGNATURES, abs=15)
+
+    def test_all_identities_present_in_training(self, tiny_surveillance):
+        assert set(np.unique(tiny_surveillance.train_labels)) == set(range(PAPER_IDENTITIES))
+
+    def test_temporal_split_order(self, tiny_surveillance):
+        data = tiny_surveillance
+        assert data.train_frames.max() < data.test_frames.min()
+
+    def test_signatures_for_identity_sorted_by_frame(self, tiny_surveillance):
+        matrix = tiny_surveillance.signatures_for_identity(0, "train")
+        assert matrix.shape[1] == 768
+        assert matrix.shape[0] > 0
+        with pytest.raises(ConfigurationError):
+            tiny_surveillance.signatures_for_identity(0, "validation")
+
+    def test_summary_keys(self, tiny_surveillance):
+        summary = tiny_surveillance.summary()
+        assert summary["identities"] == PAPER_IDENTITIES
+        assert summary["bits"] == 768
+
+    def test_cache_returns_same_object(self):
+        a = make_surveillance_dataset(scale=0.05, seed=123)
+        b = make_surveillance_dataset(scale=0.05, seed=123)
+        assert a is b
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SurveillanceDatasetConfig(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            SurveillanceDatasetConfig(n_identities=0)
+        with pytest.raises(ConfigurationError):
+            SegmentationNoiseModel(merge_probability=1.5)
+
+    def test_noise_model_corrupts_masks(self, rng):
+        noise = SegmentationNoiseModel(
+            boundary_noise_probability=1.0,
+            partial_occlusion_probability=1.0,
+            contamination_probability=0.0,
+            merge_probability=0.0,
+        )
+        mask = np.zeros((40, 40), dtype=bool)
+        mask[5:35, 10:30] = True
+        corrupted = noise.corrupt(mask, [], rng)
+        assert corrupted.sum() != mask.sum()
+
+    def test_merge_unions_other_mask(self, rng):
+        noise = SegmentationNoiseModel(
+            boundary_noise_probability=0.0,
+            partial_occlusion_probability=0.0,
+            contamination_probability=0.0,
+            merge_probability=1.0,
+        )
+        mask = np.zeros((20, 20), dtype=bool)
+        mask[:5, :5] = True
+        other = np.zeros((20, 20), dtype=bool)
+        other[10:, 10:] = True
+        corrupted = noise.corrupt(mask, [other], rng)
+        assert corrupted[12, 12]
+
+
+class TestSplits:
+    def test_temporal_split_respects_order(self, rng):
+        X = rng.integers(0, 2, size=(100, 8))
+        y = rng.integers(0, 3, size=100)
+        order = np.arange(100)
+        X_train, y_train, X_test, y_test = temporal_split(X, y, order, train_fraction=0.7)
+        assert X_train.shape[0] == 70
+        assert X_test.shape[0] == 30
+        assert np.array_equal(X_train, X[:70])
+
+    def test_temporal_split_validation(self, rng):
+        X = rng.integers(0, 2, size=(10, 4))
+        y = rng.integers(0, 2, size=10)
+        with pytest.raises(ConfigurationError):
+            temporal_split(X, y, np.arange(10), train_fraction=1.5)
+        with pytest.raises(DataError):
+            temporal_split(X, y, np.arange(9))
+
+    def test_stratified_split_keeps_all_classes(self, rng):
+        X = rng.integers(0, 2, size=(90, 8))
+        y = np.repeat([0, 1, 2], 30)
+        X_train, y_train, X_test, y_test = stratified_split(X, y, 0.7, seed=0)
+        assert set(np.unique(y_train)) == {0, 1, 2}
+        assert set(np.unique(y_test)) == {0, 1, 2}
+        assert X_train.shape[0] + X_test.shape[0] == 90
+
+    def test_stratified_split_reproducible(self, rng):
+        X = rng.integers(0, 2, size=(40, 4))
+        y = np.repeat([0, 1], 20)
+        a = stratified_split(X, y, seed=3)
+        b = stratified_split(X, y, seed=3)
+        assert np.array_equal(a[0], b[0])
+
+
+class TestLoaders:
+    def test_save_load_roundtrip(self, tmp_path, tiny_surveillance):
+        path = save_dataset(tiny_surveillance, tmp_path / "data")
+        loaded = load_dataset(path)
+        assert np.array_equal(loaded.train_signatures, tiny_surveillance.train_signatures)
+        assert np.array_equal(loaded.test_labels, tiny_surveillance.test_labels)
+        assert loaded.n_bits == tiny_surveillance.n_bits
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_dataset(tmp_path / "nope.npz")
+
+    def test_missing_arrays(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, train_signatures=np.zeros((2, 4)))
+        with pytest.raises(DataError):
+            load_dataset(bad)

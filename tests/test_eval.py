@@ -1,0 +1,236 @@
+"""Unit tests for metrics, the Wilcoxon test and the experiment runners."""
+
+import numpy as np
+import pytest
+
+from repro.core import BinarySom, SomClassifier
+from repro.datasets import make_signature_clusters
+from repro.errors import ConfigurationError, DataError
+from repro.eval import (
+    Table1Config,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    format_markdown_table,
+    format_table,
+    per_class_accuracy,
+    rank_sum_statistic,
+    run_figure3,
+    run_neuron_sweep,
+    run_table1,
+    run_table2,
+    wilcoxon_rank_sum,
+)
+from repro.eval.experiments import NeuronSweepConfig, PAPER_ITERATIONS
+from repro.eval.reporting import format_percentage
+from repro.eval.stats import normal_sf
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(2 / 3)
+
+    def test_per_class_accuracy(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        per_class = per_class_accuracy(y_true, y_pred)
+        assert per_class[0] == pytest.approx(0.5)
+        assert per_class[1] == pytest.approx(1.0)
+
+    def test_confusion_matrix(self):
+        matrix, labels = confusion_matrix(np.array([0, 0, 1]), np.array([0, 1, 1]))
+        assert labels.tolist() == [0, 1]
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+        assert matrix.sum() == 3
+
+    def test_confusion_matrix_with_unknown_prediction(self):
+        matrix, labels = confusion_matrix(np.array([0, 1]), np.array([-1, 1]))
+        assert -1 in labels.tolist()
+
+    def test_classification_report(self):
+        report = classification_report(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]))
+        assert report.accuracy == pytest.approx(0.75)
+        assert report.error_rate == pytest.approx(0.25)
+        assert report.n_samples == 4
+        assert report.rejected_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            accuracy(np.array([1, 2]), np.array([1]))
+        with pytest.raises(DataError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestWilcoxon:
+    def test_z_matches_scipy_ranksums(self, rng):
+        a = rng.normal(0.85, 0.01, 10)
+        b = rng.normal(0.84, 0.01, 10)
+        _, _, z = rank_sum_statistic(a, b)
+        scipy_z, scipy_p = scipy_stats.ranksums(a, b)
+        assert z == pytest.approx(scipy_z, abs=1e-9)
+
+    def test_two_sided_p_matches_scipy(self, rng):
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            a = local.normal(0.0, 1.0, 12)
+            b = local.normal(0.4, 1.0, 9)
+            result = wilcoxon_rank_sum(a, b, alternative="two-sided")
+            _, scipy_p = scipy_stats.ranksums(a, b)
+            assert result.p_value == pytest.approx(scipy_p, abs=1e-9)
+
+    def test_one_sided_p_matches_scipy(self, rng):
+        a = rng.normal(1.0, 1.0, 10)
+        b = rng.normal(0.0, 1.0, 10)
+        result = wilcoxon_rank_sum(a, b, alternative="greater")
+        _, scipy_p = scipy_stats.ranksums(a, b, alternative="greater")
+        assert result.p_value == pytest.approx(scipy_p, abs=1e-9)
+
+    def test_clear_separation_gives_paper_mean_ranks(self):
+        """Ten values all smaller than ten others: mean ranks 5.5 and 15.5, |z| = 4
+        appears repeatedly in the paper's Table II."""
+        low = np.linspace(0.80, 0.81, 10)
+        high = np.linspace(0.85, 0.86, 10)
+        mean_low, mean_high, z = rank_sum_statistic(low, high)
+        assert mean_low == pytest.approx(5.5)
+        assert mean_high == pytest.approx(15.5)
+        assert z == pytest.approx(-3.78, abs=0.3)
+        result = wilcoxon_rank_sum(low, high, alternative="less")
+        assert result.significant
+
+    def test_identical_samples_not_significant(self):
+        values = np.full(10, 0.5)
+        result = wilcoxon_rank_sum(values, values)
+        assert result.z == 0.0
+        assert not result.significant
+        assert result.verdict() == "no significant difference"
+
+    def test_verdict_direction(self):
+        high = np.linspace(0.9, 0.95, 8)
+        low = np.linspace(0.1, 0.15, 8)
+        result = wilcoxon_rank_sum(high, low, alternative="greater")
+        assert result.verdict("cSOM", "bSOM") == "cSOM better"
+
+    def test_normal_sf(self):
+        assert normal_sf(0.0) == pytest.approx(0.5)
+        assert normal_sf(1.6449) == pytest.approx(0.05, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wilcoxon_rank_sum(np.ones(3), np.ones(3), alternative="bigger")
+        with pytest.raises(ConfigurationError):
+            wilcoxon_rank_sum(np.ones(3), np.ones(3), alpha=2.0)
+        with pytest.raises(DataError):
+            rank_sum_statistic(np.array([]), np.ones(3))
+
+
+class TestExperimentRunners:
+    @pytest.fixture(scope="class")
+    def toy_dataset(self):
+        """A cluster-based stand-in with the SurveillanceDataset interface."""
+        from repro.datasets.surveillance import SurveillanceDataset
+
+        X_train, y_train = make_signature_clusters(
+            n_identities=4, samples_per_identity=30, n_bits=96, seed=0
+        )
+        X_test, y_test = make_signature_clusters(
+            n_identities=4, samples_per_identity=15, n_bits=96, seed=1
+        )
+        return SurveillanceDataset(
+            train_signatures=X_train,
+            train_labels=y_train,
+            test_signatures=X_test,
+            test_labels=y_test,
+            train_frames=np.arange(y_train.size),
+            test_frames=np.arange(y_test.size),
+            n_bits=96,
+        )
+
+    def test_paper_iteration_grid(self):
+        assert PAPER_ITERATIONS == (10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 200, 300, 400, 500)
+        assert Table1Config().iterations == PAPER_ITERATIONS
+        assert Table1Config().repetitions == 10
+
+    def test_run_table1_structure(self, toy_dataset):
+        config = Table1Config(iterations=(2, 5), repetitions=3, n_neurons=12)
+        result = run_table1(toy_dataset, config)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert len(row.csom_scores) == 3
+            assert len(row.bsom_scores) == 3
+            assert 0.0 <= row.bsom_mean <= 1.0
+            assert 0.0 <= row.csom_mean <= 1.0
+        assert result.row(5).iterations == 5
+        with pytest.raises(KeyError):
+            result.row(99)
+
+    def test_run_table2_symbols(self, toy_dataset):
+        config = Table1Config(iterations=(2, 5), repetitions=3, n_neurons=12)
+        table1 = run_table1(toy_dataset, config)
+        table2 = run_table2(table1)
+        assert len(table2) == 2
+        for row in table2:
+            assert row.symbol in {">", "<", "-"}
+            assert 0.0 <= row.p_value <= 1.0
+            # Mean ranks of two samples of 3 always sum to 2 * 3.5.
+            assert row.csom_mean_rank + row.bsom_mean_rank == pytest.approx(7.0)
+
+    def test_table1_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            Table1Config(iterations=())
+        with pytest.raises(ConfigurationError):
+            Table1Config(iterations=(0,))
+        with pytest.raises(ConfigurationError):
+            Table1Config(repetitions=0)
+
+    def test_neuron_sweep(self, toy_dataset):
+        rows = run_neuron_sweep(
+            toy_dataset,
+            NeuronSweepConfig(neuron_counts=(4, 16), repetitions=2, epochs=3),
+        )
+        assert [row.n_neurons for row in rows] == [4, 16]
+        for row in rows:
+            assert 0.0 <= row.bsom_accuracy <= 1.0
+            assert row.bsom_used_neurons <= row.n_neurons
+        # More neurons never hurts much on separable clusters.
+        assert rows[1].bsom_accuracy >= rows[0].bsom_accuracy - 0.1
+
+    def test_neuron_sweep_validation(self):
+        with pytest.raises(ConfigurationError):
+            NeuronSweepConfig(neuron_counts=())
+
+    def test_run_figure3(self, tiny_surveillance):
+        result = run_figure3(tiny_surveillance, identities=[0, 1, 2])
+        assert result.identities == [0, 1, 2]
+        for matrix in result.signature_matrices.values():
+            assert matrix.shape[1] == 768
+        # Signatures of the same person must be more alike than across people.
+        assert result.within_identity_distance < result.between_identity_distance
+
+    def test_run_figure3_unknown_identity(self, tiny_surveillance):
+        with pytest.raises(ConfigurationError):
+            run_figure3(tiny_surveillance, identities=[99])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2], [30, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_markdown_table(self):
+        text = format_markdown_table(["x", "y"], [["1", "2"]])
+        assert text.splitlines()[1] == "|---|---|"
+        assert "| 1 | 2 |" in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(DataError):
+            format_table(["a"], [[1, 2]])
+        with pytest.raises(DataError):
+            format_table([], [])
+
+    def test_format_percentage(self):
+        assert format_percentage(0.8532) == "85.32%"
+        assert format_percentage(1.0, 1) == "100.0%"

@@ -1,0 +1,147 @@
+"""Unit tests for the hardware primitives: clock, LFSR, BlockRAM, devices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, HardwareModelError
+from repro.hw import BlockRam, BlockRamBank, ClockDomain, Lfsr, VIRTEX4_XC4VLX160
+from repro.hw.bram import RAMB16_BITS
+from repro.hw.device import DEVICES, get_device
+
+
+class TestClockDomain:
+    def test_paper_clock_default(self):
+        clock = ClockDomain()
+        assert clock.frequency_mhz == 40.0
+        assert clock.period_ns == pytest.approx(25.0)
+
+    def test_tick_accumulates(self):
+        clock = ClockDomain()
+        clock.tick(768)
+        clock.tick(7)
+        assert clock.cycles == 775
+
+    def test_elapsed_seconds(self):
+        clock = ClockDomain(40.0)
+        clock.tick(40_000_000)
+        assert clock.elapsed_seconds() == pytest.approx(1.0)
+        assert clock.elapsed_seconds(775) == pytest.approx(775 / 40e6)
+
+    def test_cycles_for_seconds(self):
+        clock = ClockDomain(40.0)
+        assert clock.cycles_for_seconds(1.0) == 40_000_000
+
+    def test_reset(self):
+        clock = ClockDomain()
+        clock.tick(5)
+        clock.reset()
+        assert clock.cycles == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClockDomain(0)
+        with pytest.raises(ConfigurationError):
+            ClockDomain().tick(-1)
+
+
+class TestLfsr:
+    def test_output_is_binary(self):
+        lfsr = Lfsr(width=8, seed=0x5A)
+        assert set(lfsr.bits(100)).issubset({0, 1})
+
+    def test_maximal_period_for_small_widths(self):
+        for width in (3, 4, 5, 7, 8):
+            lfsr = Lfsr(width=width, seed=1)
+            assert lfsr.period() == 2**width - 1
+
+    def test_deterministic_for_seed(self):
+        assert Lfsr(width=16, seed=7).bits(64) == Lfsr(width=16, seed=7).bits(64)
+
+    def test_different_seeds_differ(self):
+        assert Lfsr(width=16, seed=7).bits(64) != Lfsr(width=16, seed=9).bits(64)
+
+    def test_balanced_output(self):
+        bits = Lfsr(width=16, seed=0xACE1).bits(4096)
+        ones = sum(bits)
+        assert 0.45 < ones / 4096 < 0.55
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Lfsr(width=1)
+        with pytest.raises(ConfigurationError):
+            Lfsr(width=16, seed=0)
+        with pytest.raises(ConfigurationError):
+            Lfsr(width=6)  # no default taps for width 6
+        with pytest.raises(ConfigurationError):
+            Lfsr(width=8, taps=(0, 3))
+
+
+class TestBlockRam:
+    def test_word_read_write(self):
+        ram = BlockRam(words=4, word_width=8)
+        word = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        ram.write(2, word)
+        assert np.array_equal(ram.read(2), word)
+        assert ram.write_count == 1 and ram.read_count == 1
+
+    def test_bit_access(self):
+        ram = BlockRam(words=2, word_width=4)
+        ram.write_bit(1, 3, 1)
+        assert ram.read_bit(1, 3) == 1
+        assert ram.read_bit(1, 0) == 0
+
+    def test_capacity_accounting(self):
+        ram = BlockRam(words=40, word_width=768)
+        assert ram.capacity_bits == 40 * 768
+        assert ram.ramb16_count == -(-40 * 768 // RAMB16_BITS) == 2
+
+    def test_address_and_value_checks(self):
+        ram = BlockRam(words=2, word_width=4)
+        with pytest.raises(HardwareModelError):
+            ram.read(5)
+        with pytest.raises(HardwareModelError):
+            ram.write(0, np.zeros(5, dtype=np.uint8))
+        with pytest.raises(HardwareModelError):
+            ram.write(0, np.full(4, 3, dtype=np.uint8))
+        with pytest.raises(HardwareModelError):
+            ram.write_bit(0, 9, 1)
+        with pytest.raises(HardwareModelError):
+            ram.write_bit(0, 0, 2)
+
+    def test_bank_allocation_and_totals(self):
+        bank = BlockRamBank()
+        bank.allocate("weights_value", 40, 768)
+        bank.allocate("weights_care", 40, 768)
+        assert bank.total_bits == 2 * 40 * 768
+        assert bank.total_ramb16 == 4
+        assert "weights_value" in bank
+        assert bank["weights_value"].words == 40
+        report = bank.report()
+        assert report["weights_care"]["ramb16"] == 2
+        with pytest.raises(ConfigurationError):
+            bank.allocate("weights_value", 1, 1)
+        with pytest.raises(ConfigurationError):
+            bank["missing"]
+
+
+class TestDevices:
+    def test_paper_device_capacities_match_table4_totals(self):
+        device = VIRTEX4_XC4VLX160
+        assert device.flip_flops == 135_168
+        assert device.luts == 135_168
+        assert device.bonded_iobs == 768
+        assert device.slices == 67_584
+        assert device.ram16s == 288
+        assert device.logic_cells == 152_064
+        assert device.embedded_ram_kbits == 5_184
+
+    def test_lookup(self):
+        assert get_device("XC4VLX160") is VIRTEX4_XC4VLX160
+        assert "XC4VLX60" in DEVICES
+        with pytest.raises(ConfigurationError):
+            get_device("XC7K325T")
+
+    def test_capacity_accessor(self):
+        assert VIRTEX4_XC4VLX160.capacity("luts") == 135_168
+        with pytest.raises(ConfigurationError):
+            VIRTEX4_XC4VLX160.capacity("dsp48")

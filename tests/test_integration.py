@@ -1,0 +1,81 @@
+"""Integration tests spanning several subsystems.
+
+These tests follow the paper's actual workflow end to end: synthetic video
+-> signature extraction -> off-line training -> node labelling ->
+identification, both in software and on the cycle-accurate hardware model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BinarySom, KohonenSom, SomClassifier
+from repro.eval import accuracy, run_table1, run_table2
+from repro.eval.experiments import Table1Config
+from repro.hw import FpgaBsomConfig, FpgaBsomDesign, ThroughputModel
+
+
+class TestSoftwareWorkflow:
+    def test_bsom_identifies_people_on_surveillance_data(self, tiny_surveillance):
+        data = tiny_surveillance
+        classifier = SomClassifier(BinarySom(40, data.n_bits, seed=0))
+        classifier.fit(data.train_signatures, data.train_labels, epochs=10, seed=1)
+        score = classifier.score(data.test_signatures, data.test_labels)
+        # The tiny dataset is noisier than the paper-scale one; the band is wide.
+        assert score > 0.55
+
+    def test_csom_identifies_people_on_surveillance_data(self, tiny_surveillance):
+        data = tiny_surveillance
+        classifier = SomClassifier(KohonenSom(40, data.n_bits, seed=0))
+        classifier.fit(data.train_signatures, data.train_labels, epochs=10, seed=1)
+        assert classifier.score(data.test_signatures, data.test_labels) > 0.55
+
+    def test_table1_and_table2_pipeline(self, tiny_surveillance):
+        config = Table1Config(iterations=(3, 8), repetitions=3, n_neurons=20)
+        table1 = run_table1(tiny_surveillance, config)
+        table2 = run_table2(table1)
+        assert len(table1.rows) == len(table2) == 2
+        for row in table1.rows:
+            assert 0.3 <= row.bsom_mean <= 1.0
+
+
+class TestHardwareWorkflow:
+    def test_offline_training_then_fpga_deployment(self, tiny_surveillance):
+        """Figure 6: train off-line, load the weights into the FPGA and recognise."""
+        data = tiny_surveillance
+        software = SomClassifier(BinarySom(40, data.n_bits, seed=0))
+        software.fit(data.train_signatures, data.train_labels, epochs=8, seed=1)
+
+        design = FpgaBsomDesign(FpgaBsomConfig(seed=0))
+        design.load_weights(software.som)
+
+        software_predictions = software.predict(data.test_signatures[:40])
+        node_labels = software.labelling.node_labels
+        hardware_predictions = []
+        total_cycles = 0
+        for signature in data.test_signatures[:40]:
+            trace = design.present(signature)
+            hardware_predictions.append(node_labels[trace.winner])
+            total_cycles += trace.total_cycles
+        hardware_predictions = np.array(hardware_predictions)
+
+        # The FPGA path must agree with the software path signature by signature.
+        assert np.array_equal(hardware_predictions, software_predictions)
+        # And its cycle budget must match the analytic throughput model.
+        expected = 40 * ThroughputModel().cycles_per_recognition()
+        assert total_cycles == expected
+
+    def test_hardware_training_reaches_useful_accuracy(self, tiny_surveillance):
+        data = tiny_surveillance
+        design = FpgaBsomDesign(FpgaBsomConfig(seed=3))
+        design.initialise()
+        design.train(data.train_signatures[:150], epochs=2, seed=4)
+        classifier = SomClassifier(design.to_software())
+        classifier.label_nodes(data.train_signatures[:150], data.train_labels[:150])
+        predictions = classifier.predict(data.test_signatures)
+        assert accuracy(data.test_labels, predictions) > 0.4
+
+    def test_realtime_budget_for_camera_rate(self, tiny_surveillance):
+        """At 30 fps with a handful of objects per frame, the FPGA is mostly idle."""
+        report = ThroughputModel().report()
+        signatures_per_second = 30 * 5  # five tracked objects per frame
+        assert report.recognitions_per_second > 100 * signatures_per_second

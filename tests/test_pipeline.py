@@ -1,0 +1,197 @@
+"""Tests of the end-to-end recognition pipeline and the on-line extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import BinarySom, SomClassifier, UNKNOWN_LABEL
+from repro.datasets import make_signature_clusters
+from repro.errors import ConfigurationError, NotFittedError
+from repro.pipeline import (
+    OnlineLearner,
+    OnlineLearnerConfig,
+    RecognitionSystem,
+    RecognitionSystemConfig,
+)
+from repro.vision import ActorSpec, SceneConfig, SyntheticSurveillanceScene
+
+
+def _two_actor_scene(seed=0):
+    """A small scene with two strongly coloured actors always on screen."""
+    actors = [
+        ActorSpec(identity=0, torso_colour=(220, 30, 30), legs_colour=(40, 40, 60),
+                  height=40, width=18, speed=1.5, entry_row=25, colour_jitter=3.0),
+        ActorSpec(identity=1, torso_colour=(30, 60, 220), legs_colour=(90, 90, 100),
+                  height=44, width=20, speed=-1.8, entry_row=30, colour_jitter=3.0),
+    ]
+    config = SceneConfig(
+        height=96, width=128, lighting_amplitude=3.0, camera_jitter_pixels=0,
+        pixel_noise_std=2.0, furniture_occluders=0, initial_pause_max_frames=0,
+    )
+    return SyntheticSurveillanceScene(actors=actors, config=config, seed=seed)
+
+
+def _signatures_from_truth(scene, n_frames, bins=256):
+    """Ground-truth signatures per identity, bypassing segmentation."""
+    from repro.signatures import extract_signature
+
+    signatures, labels = [], []
+    for frame in scene.frames(n_frames):
+        for identity, mask in frame.truth_masks.items():
+            if mask.sum() < 100:
+                continue
+            signature = extract_signature(frame.image, mask, bins_per_channel=bins)
+            signatures.append(signature.bits)
+            labels.append(identity)
+    return np.array(signatures, dtype=np.uint8), np.array(labels, dtype=np.int64)
+
+
+class TestRecognitionSystem:
+    @pytest.fixture(scope="class")
+    def fitted_system(self):
+        scene = _two_actor_scene(seed=1)
+        X, y = _signatures_from_truth(scene, 60)
+        classifier = SomClassifier(BinarySom(12, 768, seed=0)).fit(X, y, epochs=8, seed=1)
+        system = RecognitionSystem(classifier, RecognitionSystemConfig(min_blob_area=120))
+        # Prime the background with the clean plate (no people).
+        test_scene = _two_actor_scene(seed=2)
+        system.initialise_background(test_scene.background)
+        return system, test_scene
+
+    def test_requires_fitted_classifier(self):
+        with pytest.raises(NotFittedError):
+            RecognitionSystem(SomClassifier(BinarySom(4, 768, seed=0)))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecognitionSystemConfig(vote_window=0)
+        with pytest.raises(ConfigurationError):
+            RecognitionSystemConfig(min_blob_area=-1)
+
+    def test_segmentation_finds_moving_objects(self, fitted_system):
+        system, scene = fitted_system
+        found_any = False
+        for frame in scene.frames(15):
+            blobs = system.segment(frame.image)
+            if blobs:
+                found_any = True
+                for blob in blobs:
+                    assert blob.area >= 120
+        assert found_any
+
+    def test_process_frames_produces_consistent_tracks(self, fitted_system):
+        system, scene = fitted_system
+        observations = system.process_sequence(scene.frames(25, start=100))
+        assert observations, "expected at least one identified object"
+        track_ids = {obs.track_id for obs in observations}
+        assert len(track_ids) >= 1
+        identities = system.track_identities()
+        assert set(identities) >= track_ids
+        for obs in observations:
+            assert len(obs.signature) == 768
+        assert system.frames_processed == 25
+
+    def test_track_identity_unknown_for_missing_track(self, fitted_system):
+        system, _ = fitted_system
+        assert system.track_identity(99_999) == UNKNOWN_LABEL
+
+    def test_majority_vote_matches_ground_truth_for_clean_track(self):
+        """Full pipeline accuracy on an easy two-person scene."""
+        train_scene = _two_actor_scene(seed=5)
+        X, y = _signatures_from_truth(train_scene, 80)
+        classifier = SomClassifier(BinarySom(12, 768, seed=3)).fit(X, y, epochs=8, seed=4)
+        system = RecognitionSystem(classifier, RecognitionSystemConfig(min_blob_area=120))
+
+        eval_scene = _two_actor_scene(seed=6)
+        system.initialise_background(eval_scene.background)
+        frames = list(eval_scene.frames(30))
+        observations = system.process_sequence(frames)
+        assert observations
+        # Compare each observation's label with the ground-truth identity whose
+        # silhouette overlaps the detected blob the most.
+        correct, total = 0, 0
+        frame_by_index = {frame.index: frame for frame in frames}
+        for obs in observations:
+            frame = frame_by_index[obs.frame_index]
+            overlaps = {
+                identity: (mask & obs.blob.mask).sum()
+                for identity, mask in frame.truth_masks.items()
+            }
+            if not overlaps:
+                continue
+            truth = max(overlaps, key=overlaps.get)
+            if overlaps[truth] == 0:
+                continue
+            total += 1
+            if obs.label == truth:
+                correct += 1
+        assert total > 0
+        assert correct / total > 0.6
+
+
+class TestOnlineLearner:
+    @pytest.fixture()
+    def learner_setup(self):
+        # Four identities drawn from one model; the fourth is held out as the
+        # "previously unseen" object the on-line loop must discover.
+        X_all, y_all = make_signature_clusters(
+            n_identities=4, samples_per_identity=60, n_bits=128, core_bits=24, seed=0
+        )
+        known = y_all < 3
+        X, y = X_all[known], y_all[known]
+        X_new = X_all[y_all == 3]
+        classifier = SomClassifier(
+            BinarySom(20, 128, seed=1), rejection_percentile=99.0, rejection_margin=1.1
+        ).fit(X, y, epochs=6, seed=2)
+        return classifier, X, y, X_new
+
+    def test_known_objects_still_recognised(self, learner_setup):
+        classifier, X, y, _ = learner_setup
+        learner = OnlineLearner(classifier, X, y, OnlineLearnerConfig(min_signatures=10))
+        decisions = [learner.observe(track_id=1, signature=x) for x in X[:20]]
+        known = [d for d in decisions if d != UNKNOWN_LABEL]
+        assert len(known) >= 15
+
+    def test_novel_object_gets_new_label(self, learner_setup):
+        classifier, X, y, X_new = learner_setup
+        learner = OnlineLearner(
+            classifier, X, y, OnlineLearnerConfig(min_signatures=12, online_epochs=2)
+        )
+        decisions = [learner.observe(track_id=7, signature=x) for x in X_new[:30]]
+        new_labels = {d for d in decisions if d not in (UNKNOWN_LABEL, 0, 1, 2)}
+        assert new_labels, "the unseen identity should eventually receive a new label"
+        assert learner.updates
+        report = learner.updates[0]
+        assert report.new_label == 3
+        assert report.signatures_used >= 12
+        assert 3 in learner.known_labels.tolist()
+
+    def test_new_object_recognised_after_update(self, learner_setup):
+        classifier, X, y, X_new = learner_setup
+        learner = OnlineLearner(
+            classifier, X, y, OnlineLearnerConfig(min_signatures=12, online_epochs=2)
+        )
+        for x in X_new[:20]:
+            learner.observe(track_id=3, signature=x)
+        # After the on-line update, fresh signatures of the new object should
+        # mostly be assigned its new label.
+        post = [learner.observe(track_id=3, signature=x) for x in X_new[20:35]]
+        new_label = learner.updates[0].new_label
+        assert sum(1 for d in post if d == new_label) >= len(post) // 2
+
+    def test_pending_counts(self, learner_setup):
+        classifier, X, y, X_new = learner_setup
+        learner = OnlineLearner(classifier, X, y, OnlineLearnerConfig(min_signatures=50))
+        for x in X_new[:5]:
+            learner.observe(track_id=2, signature=x)
+        assert learner.pending_counts().get(2, 0) == 5
+
+    def test_requires_fitted_classifier(self, learner_setup):
+        _, X, y, _ = learner_setup
+        with pytest.raises(NotFittedError):
+            OnlineLearner(SomClassifier(BinarySom(4, 128, seed=0)), X, y)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            OnlineLearnerConfig(min_signatures=0)
+        with pytest.raises(ConfigurationError):
+            OnlineLearnerConfig(online_epochs=0)

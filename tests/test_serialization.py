@@ -1,0 +1,71 @@
+"""Unit tests for model serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import BinarySom, KohonenSom, SomClassifier, load_model, save_model
+from repro.core.bsom import BsomUpdateRule
+from repro.core.topology import Grid2DTopology, RingTopology
+from repro.errors import DataError
+
+
+class TestSaveLoadMaps:
+    def test_bsom_roundtrip(self, tmp_path, cluster_data):
+        X, _ = cluster_data
+        som = BinarySom(8, X.shape[1], seed=0).fit(X, epochs=2, seed=1)
+        path = save_model(som, tmp_path / "bsom.npz")
+        loaded = load_model(path)
+        assert isinstance(loaded, BinarySom)
+        assert loaded.weights == som.weights
+        assert loaded.n_neurons == som.n_neurons
+        x = X[0]
+        assert loaded.winner(x) == som.winner(x)
+
+    def test_csom_roundtrip(self, tmp_path, cluster_data):
+        X, _ = cluster_data
+        som = KohonenSom(8, X.shape[1], seed=0).fit(X, epochs=2, seed=1)
+        path = save_model(som, tmp_path / "csom.npz")
+        loaded = load_model(path)
+        assert isinstance(loaded, KohonenSom)
+        assert np.allclose(loaded.weights, som.weights)
+
+    def test_update_rule_preserved(self, tmp_path):
+        rule = BsomUpdateRule(winner_rule="full", neighbour_rule="commit", neighbour_strength=0.25)
+        som = BinarySom(4, 16, seed=0, update_rule=rule)
+        loaded = load_model(save_model(som, tmp_path / "m.npz"))
+        assert loaded.update_rule == rule
+
+    def test_topology_kinds_roundtrip(self, tmp_path):
+        for topology in (RingTopology(6), Grid2DTopology(2, 3)):
+            som = BinarySom(6, 16, seed=0, topology=topology)
+            loaded = load_model(save_model(som, tmp_path / f"{type(topology).__name__}.npz"))
+            assert type(loaded.topology) is type(topology)
+
+    def test_suffix_added_automatically(self, tmp_path):
+        som = BinarySom(4, 8, seed=0)
+        path = save_model(som, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            load_model(tmp_path / "missing.npz")
+
+
+class TestSaveLoadClassifier:
+    def test_classifier_roundtrip_preserves_predictions(self, tmp_path, cluster_data):
+        X, y = cluster_data
+        classifier = SomClassifier(
+            BinarySom(16, X.shape[1], seed=0), rejection_percentile=99.0
+        ).fit(X, y, epochs=4, seed=1)
+        path = save_model(classifier, tmp_path / "clf.npz")
+        loaded = load_model(path)
+        assert isinstance(loaded, SomClassifier)
+        assert loaded.rejection_threshold == pytest.approx(classifier.rejection_threshold)
+        assert np.array_equal(loaded.predict(X), classifier.predict(X))
+
+    def test_unfitted_classifier_roundtrip(self, tmp_path):
+        classifier = SomClassifier(BinarySom(4, 8, seed=0))
+        loaded = load_model(save_model(classifier, tmp_path / "raw.npz"))
+        assert isinstance(loaded, SomClassifier)
+        assert loaded.labelling is None

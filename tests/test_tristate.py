@@ -1,0 +1,127 @@
+"""Unit tests for the tri-state weight representation."""
+
+import numpy as np
+import pytest
+
+from repro.core.tristate import (
+    DONT_CARE,
+    TriStateWeights,
+    random_tristate,
+    tristate_from_binary,
+)
+from repro.errors import ConfigurationError, DataError
+
+
+class TestTriStateWeights:
+    def test_promotes_vector_to_matrix(self):
+        weights = TriStateWeights(np.array([0, 1, DONT_CARE], dtype=np.int8))
+        assert weights.n_neurons == 1
+        assert weights.n_bits == 3
+
+    def test_rejects_invalid_states(self):
+        with pytest.raises(DataError):
+            TriStateWeights(np.array([[0, 1, 3]], dtype=np.int8))
+
+    def test_rejects_empty_rows(self):
+        with pytest.raises(DataError):
+            TriStateWeights(np.zeros((2, 0), dtype=np.int8))
+
+    def test_rejects_three_dimensional_input(self):
+        with pytest.raises(DataError):
+            TriStateWeights(np.zeros((2, 2, 2), dtype=np.int8))
+
+    def test_dont_care_counts(self):
+        weights = TriStateWeights(
+            np.array([[0, DONT_CARE, 1], [DONT_CARE, DONT_CARE, 0]], dtype=np.int8)
+        )
+        assert weights.dont_care_counts().tolist() == [1, 2]
+        assert weights.dont_care_fraction() == pytest.approx(3 / 6)
+
+    def test_committed_bits_mask(self):
+        weights = TriStateWeights(np.array([[0, DONT_CARE, 1]], dtype=np.int8))
+        assert weights.committed_bits().tolist() == [[True, False, True]]
+
+    def test_copy_is_independent(self):
+        weights = TriStateWeights(np.zeros((2, 4), dtype=np.int8))
+        clone = weights.copy()
+        clone.values[0, 0] = 1
+        assert weights.values[0, 0] == 0
+
+    def test_equality(self):
+        a = TriStateWeights(np.array([[0, 1, DONT_CARE]], dtype=np.int8))
+        b = TriStateWeights(np.array([[0, 1, DONT_CARE]], dtype=np.int8))
+        c = TriStateWeights(np.array([[1, 1, DONT_CARE]], dtype=np.int8))
+        assert a == b
+        assert a != c
+
+    def test_bitplane_roundtrip(self):
+        original = random_tristate(6, 32, dont_care_probability=0.3, seed=3)
+        value, care = original.to_bitplanes()
+        rebuilt = TriStateWeights.from_bitplanes(value, care)
+        assert rebuilt == original
+
+    def test_bitplanes_are_binary(self):
+        weights = random_tristate(4, 16, dont_care_probability=0.5, seed=1)
+        value, care = weights.to_bitplanes()
+        assert set(np.unique(value)).issubset({0, 1})
+        assert set(np.unique(care)).issubset({0, 1})
+        # Value plane is forced to zero wherever the care bit is clear.
+        assert np.all(value[care == 0] == 0)
+
+    def test_from_bitplanes_shape_mismatch(self):
+        with pytest.raises(DataError):
+            TriStateWeights.from_bitplanes(np.zeros((2, 4)), np.zeros((2, 5)))
+
+    def test_from_bitplanes_rejects_non_binary(self):
+        with pytest.raises(DataError):
+            TriStateWeights.from_bitplanes(np.full((1, 4), 2), np.ones((1, 4)))
+
+    def test_string_roundtrip(self):
+        weights = TriStateWeights.from_strings(["01#", "#10"])
+        assert weights.to_strings() == ["01#", "#10"]
+
+    def test_from_strings_requires_equal_lengths(self):
+        with pytest.raises(DataError):
+            TriStateWeights.from_strings(["01", "011"])
+
+    def test_from_strings_requires_content(self):
+        with pytest.raises(DataError):
+            TriStateWeights.from_strings([])
+
+
+class TestRandomTriState:
+    def test_shape_and_values(self):
+        weights = random_tristate(5, 20, seed=0)
+        assert weights.values.shape == (5, 20)
+        assert set(np.unique(weights.values)).issubset({0, 1})
+
+    def test_dont_care_probability_zero_gives_binary(self):
+        weights = random_tristate(10, 100, dont_care_probability=0.0, seed=0)
+        assert weights.dont_care_fraction() == 0.0
+
+    def test_dont_care_probability_one_gives_all_wildcards(self):
+        weights = random_tristate(3, 50, dont_care_probability=1.0, seed=0)
+        assert weights.dont_care_fraction() == 1.0
+
+    def test_seed_reproducibility(self):
+        a = random_tristate(4, 64, seed=7)
+        b = random_tristate(4, 64, seed=7)
+        assert a == b
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            random_tristate(0, 10)
+        with pytest.raises(ConfigurationError):
+            random_tristate(10, 0)
+        with pytest.raises(ConfigurationError):
+            random_tristate(1, 1, dont_care_probability=1.5)
+
+
+class TestTriStateFromBinary:
+    def test_accepts_binary(self):
+        weights = tristate_from_binary(np.array([[0, 1], [1, 0]]))
+        assert weights.dont_care_fraction() == 0.0
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(DataError):
+            tristate_from_binary(np.array([[0, 2]]))
