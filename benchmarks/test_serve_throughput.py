@@ -1,0 +1,154 @@
+"""Serving-layer throughput: micro-batched and cached vs one-at-a-time.
+
+The paper's FPGA wins its throughput by scoring one signature against all
+neurons in parallel (figure 6 / Table IV); the software serving layer wins
+its own by scoring *many signatures* against all neurons in one
+``pairwise_masked_hamming`` GEMM, and by memoising repeated silhouettes in
+the signature LRU cache.  These benchmarks quantify both levers on the
+reduced surveillance protocol, following the conventions of
+``test_figure6_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BinarySom, SomClassifier
+from repro.serve import (
+    ServiceConfig,
+    SimulatedCameraStream,
+    StreamingInferenceService,
+    drive_streams,
+)
+
+from conftest import (
+    BENCH_NEURONS,
+    BENCH_SOM_SEED,
+    BENCH_STREAM_SEED,
+    BENCH_TRAIN_SEED,
+)
+
+#: Signatures per throughput measurement (the issue's acceptance size).
+SERVE_SIGNATURES = 1000
+#: Acceptance floor: vectorised predict_batch vs looped predict_one.
+SERVE_BATCH_SPEEDUP_FLOOR = 5.0
+#: Simulated camera fan-in for the service benchmark.
+SERVE_STREAMS = 4
+SERVE_FRAMES_PER_STREAM = 250
+SERVE_REPEAT_PROBABILITY = 0.5
+
+
+@pytest.fixture(scope="module")
+def serve_classifier(bench_dataset):
+    """A bSOM classifier trained on the reduced surveillance protocol."""
+    classifier = SomClassifier(
+        BinarySom(BENCH_NEURONS, bench_dataset.n_bits, seed=BENCH_SOM_SEED)
+    )
+    return classifier.fit(
+        bench_dataset.train_signatures,
+        bench_dataset.train_labels,
+        epochs=10,
+        seed=BENCH_TRAIN_SEED,
+    )
+
+
+@pytest.fixture(scope="module")
+def signature_block(bench_dataset):
+    """Exactly SERVE_SIGNATURES test signatures (tiled when the set is smaller)."""
+    signatures = bench_dataset.test_signatures
+    repeats = -(-SERVE_SIGNATURES // signatures.shape[0])
+    return np.tile(signatures, (repeats, 1))[:SERVE_SIGNATURES]
+
+
+def _best_of(callable_, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_predict_batch_speedup_over_looped(serve_classifier, signature_block, benchmark):
+    """One vectorised batch call beats 1k looped predict_one calls >= 5x."""
+    looped_s = _best_of(
+        lambda: [serve_classifier.predict_one(row) for row in signature_block]
+    )
+    batched_s = _best_of(lambda: serve_classifier.predict_batch(signature_block))
+    batch = benchmark.pedantic(
+        serve_classifier.predict_batch, args=(signature_block,), rounds=3, iterations=1
+    )
+    assert len(batch) == SERVE_SIGNATURES
+    speedup = looped_s / batched_s
+    assert speedup >= SERVE_BATCH_SPEEDUP_FLOOR, (
+        f"batched path only {speedup:.1f}x faster than looped "
+        f"({batched_s * 1e3:.1f} ms vs {looped_s * 1e3:.1f} ms)"
+    )
+    # Both paths agree bit-for-bit (the regression tests pin this per-row).
+    looped_labels = [serve_classifier.predict_one(row).label for row in signature_block]
+    np.testing.assert_array_equal(batch.labels, looped_labels)
+
+
+def test_service_throughput_and_cache_hit_rate(
+    bench_dataset, serve_classifier, benchmark
+):
+    """Micro-batched multi-stream serving outpaces one-at-a-time classification."""
+    total_frames = SERVE_STREAMS * SERVE_FRAMES_PER_STREAM
+    block = np.tile(
+        bench_dataset.test_signatures,
+        (-(-total_frames // bench_dataset.test_signatures.shape[0]), 1),
+    )[:total_frames]
+    single_sample_s = _best_of(
+        lambda: [serve_classifier.predict_one(row) for row in block], rounds=1
+    )
+
+    def make_streams():
+        return [
+            SimulatedCameraStream(
+                f"cam-{index}",
+                bench_dataset.test_signatures,
+                bench_dataset.test_labels,
+                n_frames=SERVE_FRAMES_PER_STREAM,
+                repeat_probability=SERVE_REPEAT_PROBABILITY,
+                seed=BENCH_STREAM_SEED + index,
+            )
+            for index in range(SERVE_STREAMS)
+        ]
+
+    def serve_two_rounds():
+        service = StreamingInferenceService(
+            config=ServiceConfig(batch_size=32, max_delay_ms=5.0, n_shards=2)
+        )
+        service.register_model("bsom", serve_classifier)
+        with service:
+            # Cold round: mostly SOM work, measures micro-batched throughput.
+            start = time.perf_counter()
+            cold = drive_streams(service, make_streams(), model="bsom")
+            cold_s = time.perf_counter() - start
+            # Warm round: the pool is now cached, measures the cache path.
+            warm = drive_streams(service, make_streams(), model="bsom")
+        return cold, warm, service.metrics_snapshot(), cold_s
+
+    cold, warm, snapshot, cold_s = benchmark.pedantic(
+        serve_two_rounds, rounds=1, iterations=1
+    )
+    assert sum(len(report.responses) for report in cold) == total_frames
+    assert sum(len(report.responses) for report in warm) == total_frames
+    # The warm round replays cached pool signatures: repeats skip the SOM.
+    warm_hits = sum(report.cache_hits for report in warm)
+    assert warm_hits / total_frames > 0.9
+    assert snapshot.cache_hit_rate > 0.2
+    assert snapshot.batches_total > 0
+    assert 0.0 < snapshot.mean_batch_fill <= 1.0
+    # Four concurrent micro-batched streams beat sequential predict_one.
+    # The 0.8 factor absorbs thread-scheduling jitter on a loaded CI box --
+    # the hard >= 5x batching guarantee lives in the predict_batch test
+    # above, which compares compute, not wall-clock thread scheduling.
+    service_throughput = total_frames / cold_s
+    single_throughput = total_frames / single_sample_s
+    assert service_throughput > 0.8 * single_throughput
+    # Latency telemetry is present and ordered.
+    assert 0.0 <= snapshot.latency_p50_ms <= snapshot.latency_p99_ms

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate for the repro library.
+#
+# Runs the tier-1 suite exactly as ROADMAP.md specifies (tests/ and
+# benchmarks/ are both collected from the repo root), then a fast smoke of
+# the streaming-service demo so the serve layer is exercised end to end --
+# threads, shards, cache and telemetry included -- on every change.
+#
+# Usage: scripts/ci_check.sh [extra pytest args...]
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "=== tier-1: pytest (tests/ + benchmarks/) ==="
+python -m pytest -x -q "$@"
+
+echo
+echo "=== smoke: streaming service demo (4 cameras, 40 frames each) ==="
+python examples/streaming_service.py --streams 4 --frames 40
+
+echo
+echo "ci_check: OK"

@@ -1,7 +1,14 @@
 """Setuptools shim so `pip install -e .` works without network access.
 
 All project metadata lives in pyproject.toml; this file only exists because
-the build environment has no index access for PEP 517 build isolation.
+the build environment has no index access for PEP 517 build isolation, so
+editable installs run as::
+
+    pip install -e . --no-build-isolation
+
+(With setuptools < 70 the ``wheel`` package must also be importable, since
+older setuptools delegates the PEP 660 ``build_editable`` hook to
+``bdist_wheel``.)
 """
 from setuptools import setup
 

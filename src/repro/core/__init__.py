@@ -43,7 +43,12 @@ from repro.core.som import SelfOrganisingMap, TrainingHistory
 from repro.core.bsom import BinarySom, BsomUpdateRule
 from repro.core.csom import KohonenSom, LearningRateSchedule
 from repro.core.labelling import NodeLabeller, LabelledMap
-from repro.core.classifier import SomClassifier, PredictionResult, UNKNOWN_LABEL
+from repro.core.classifier import (
+    SomClassifier,
+    PredictionResult,
+    BatchPrediction,
+    UNKNOWN_LABEL,
+)
 from repro.core.novelty import NoveltyDetector, calibrate_rejection_threshold
 from repro.core.serialization import save_model, load_model
 
@@ -73,6 +78,7 @@ __all__ = [
     "LabelledMap",
     "SomClassifier",
     "PredictionResult",
+    "BatchPrediction",
     "UNKNOWN_LABEL",
     "NoveltyDetector",
     "calibrate_rejection_threshold",

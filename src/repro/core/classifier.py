@@ -16,7 +16,7 @@ exposes the same interface through an adapter).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -51,6 +51,54 @@ class PredictionResult:
     neuron: int
     distance: float
     rejected: bool
+
+
+@dataclass(frozen=True)
+class BatchPrediction:
+    """Vectorised prediction detail for a whole batch of signatures.
+
+    The column-oriented counterpart of :class:`PredictionResult`: every
+    attribute is an array with one entry per input row.  The serving layer
+    (:mod:`repro.serve`) works exclusively in this representation so that a
+    micro-batch of requests costs one ``pairwise_masked_hamming`` call
+    instead of one SOM query per request.
+
+    Attributes
+    ----------
+    labels:
+        Predicted labels; :data:`UNKNOWN_LABEL` where rejected.
+    neurons:
+        Winning (minimum-distance) neuron index per input.
+    distances:
+        The winning distance per input.
+    rejected:
+        Boolean rejection mask (threshold fired or the winner is
+        unlabelled).
+    confidences:
+        Win-frequency purity of each winning neuron's label (0 where
+        rejected); see :meth:`LabelledMap.confidences_for`.
+    """
+
+    labels: np.ndarray
+    neurons: np.ndarray
+    distances: np.ndarray
+    rejected: np.ndarray
+    confidences: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.labels.size)
+
+    def __getitem__(self, index: int) -> PredictionResult:
+        """Row view as the single-sample :class:`PredictionResult`."""
+        return PredictionResult(
+            label=int(self.labels[index]),
+            neuron=int(self.neurons[index]),
+            distance=float(self.distances[index]),
+            rejected=bool(self.rejected[index]),
+        )
+
+    def __iter__(self) -> Iterator[PredictionResult]:
+        return (self[i] for i in range(len(self)))
 
 
 class SomClassifier:
@@ -184,18 +232,39 @@ class SomClassifier:
             label=label, neuron=neuron, distance=distance, rejected=rejected
         )
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        """Predicted labels for every row of ``X`` (vectorised)."""
+    def predict_batch(self, X: np.ndarray) -> BatchPrediction:
+        """Classify every row of ``X`` in one vectorised pass.
+
+        A single ``distance_matrix`` call (``pairwise_masked_hamming`` for
+        the bSOM) scores the whole batch against every neuron at once; the
+        winner, rejection and label lookups are then pure array operations.
+        Semantically identical to calling :meth:`predict_one` per row --
+        the regression tests assert exact agreement, including rejection
+        and unlabelled-winner cases.
+        """
         labelling = self._require_fitted()
         X = validate_binary_matrix(X, self.som.n_bits)
         distances = self.som.distance_matrix(X)
-        winners = np.argmin(distances, axis=1)
-        best = distances[np.arange(X.shape[0]), winners]
-        labels = labelling.node_labels[winners].copy()
-        labels[labels == LabelledMap.UNLABELLED] = UNKNOWN_LABEL
+        neurons = np.argmin(distances, axis=1).astype(np.int64)
+        best = distances[np.arange(X.shape[0]), neurons].astype(np.float64)
+        labels = labelling.labels_for(neurons)
+        rejected = labels == LabelledMap.UNLABELLED
         if self.rejection_threshold is not None:
-            labels[best > self.rejection_threshold] = UNKNOWN_LABEL
-        return labels.astype(np.int64)
+            rejected |= best > self.rejection_threshold
+        labels = np.where(rejected, UNKNOWN_LABEL, labels).astype(np.int64)
+        confidences = labelling.confidences_for(neurons)
+        confidences = np.where(rejected, 0.0, confidences)
+        return BatchPrediction(
+            labels=labels,
+            neurons=neurons,
+            distances=best,
+            rejected=rejected,
+            confidences=confidences,
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels for every row of ``X`` (vectorised)."""
+        return self.predict_batch(X).labels
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Recognition accuracy on a labelled test set (the paper's metric)."""

@@ -116,7 +116,21 @@ def pairwise_masked_hamming(weights: np.ndarray, inputs: np.ndarray) -> np.ndarr
     -------
     numpy.ndarray
         ``(n_samples, n_neurons)`` matrix of distances.  Used by the node
-        labeller and by evaluation code to score whole datasets at once.
+        labeller, by evaluation code and by the serving layer's
+        micro-batched ``predict_batch`` to score whole batches at once.
+
+    Notes
+    -----
+    For a binary input ``x`` the masked mismatch of one bit is
+    ``(w == 1) & (x == 0)  |  (w == 0) & (x == 1)``, so the whole distance
+    matrix decomposes into one matrix product::
+
+        D = rowsum(W1) + X @ (W0 - W1)^T,   W1 = (W == 1), W0 = (W == 0)
+
+    which runs as a single BLAS GEMM instead of materialising the
+    ``(n_samples, n_neurons, n_bits)`` comparison tensor.  ``float32`` is
+    exact here: every product is 0 or 1 and every sum is bounded by
+    ``n_bits``, far inside the 24-bit integer range of ``float32``.
     """
     weights = np.asarray(weights, dtype=np.int8)
     inputs = np.asarray(inputs)
@@ -126,7 +140,8 @@ def pairwise_masked_hamming(weights: np.ndarray, inputs: np.ndarray) -> np.ndarr
         raise DimensionMismatchError(weights.shape[1], inputs.shape[1], "input matrix")
     if inputs.size and not np.all(np.isin(np.unique(inputs), (0, 1))):
         raise DataError("inputs must contain only zeros and ones")
-    inputs = inputs.astype(np.int8)
-    care = (weights != DONT_CARE)[np.newaxis, :, :]
-    mismatch = weights[np.newaxis, :, :] != inputs[:, np.newaxis, :]
-    return np.count_nonzero(care & mismatch, axis=2).astype(np.int64)
+    ones = (weights == 1).astype(np.float32)
+    zeros = (weights == 0).astype(np.float32)
+    distances = inputs.astype(np.float32) @ (zeros - ones).T
+    distances += ones.sum(axis=1)[np.newaxis, :]
+    return np.rint(distances).astype(np.int64)

@@ -46,6 +46,13 @@ class LabelledMap:
 
     UNLABELLED: int = field(default=-1, init=False, repr=False)
 
+    # Lazily computed per-neuron confidence vector; win_frequencies is
+    # fixed once labelling has run, so computing it once per map (instead
+    # of once per predict_batch call) is safe.
+    _confidence_cache: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     @property
     def n_neurons(self) -> int:
         return int(self.node_labels.size)
@@ -68,6 +75,50 @@ class LabelledMap:
             )
         value = int(self.node_labels[neuron])
         return None if value == self.UNLABELLED else value
+
+    def _validate_winners(self, winners: np.ndarray) -> np.ndarray:
+        winners = np.asarray(winners)
+        if winners.ndim != 1:
+            raise DataError(
+                f"winners must be a one-dimensional index vector, got shape {winners.shape}"
+            )
+        if not np.issubdtype(winners.dtype, np.integer):
+            raise DataError("winners must be integer neuron indices")
+        if winners.size and (winners.min() < 0 or winners.max() >= self.n_neurons):
+            raise ConfigurationError(
+                f"winner indices must lie in [0, {self.n_neurons}), got range "
+                f"[{winners.min()}, {winners.max()}]"
+            )
+        return winners.astype(np.int64)
+
+    def labels_for(self, winners: np.ndarray) -> np.ndarray:
+        """Node labels for a whole vector of winning-neuron indices.
+
+        The vectorised counterpart of :meth:`label_of`: entry ``i`` is the
+        label of neuron ``winners[i]``, or :attr:`UNLABELLED` when that
+        neuron never won a training pattern.  This is the lookup the batch
+        classification path uses, one ``take`` instead of a Python loop.
+        """
+        winners = self._validate_winners(winners)
+        return self.node_labels[winners].astype(np.int64)
+
+    def confidences_for(self, winners: np.ndarray) -> np.ndarray:
+        """Win-frequency confidence of each winning neuron's label.
+
+        For neuron ``j`` the confidence is the fraction of labelling-time
+        wins that agree with its assigned label (its per-neuron purity);
+        unlabelled neurons score 0.  The serving layer reports this next to
+        every batched prediction so downstream consumers can threshold on
+        evidence quality without re-deriving it from the win table.
+        """
+        winners = self._validate_winners(winners)
+        if self._confidence_cache is None:
+            totals = self.win_frequencies.sum(axis=1).astype(np.float64)
+            best = self.win_frequencies.max(axis=1).astype(np.float64)
+            self._confidence_cache = np.divide(
+                best, totals, out=np.zeros_like(best), where=totals > 0
+            )
+        return self._confidence_cache[winners]
 
     def purity(self) -> float:
         """Fraction of labelling-time wins that agree with the node label.

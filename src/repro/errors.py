@@ -66,3 +66,38 @@ class DeviceCapacityError(HardwareModelError):
 
 class TrackingError(ReproError):
     """The object tracker was driven with inconsistent frame data."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the streaming inference service."""
+
+
+class UnknownModelError(ServiceError):
+    """A request named a model that is not registered with the service.
+
+    Carries the unknown name and the names that *are* registered so callers
+    can report a useful error to the camera stream that sent the request.
+    """
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        known = ", ".join(sorted(self.available)) or "none"
+        super().__init__(f"no model named {name!r} is registered (available: {known})")
+
+
+class ServiceOverloadedError(ServiceError):
+    """Backpressure: the service's queues are saturated.
+
+    Raised instead of queueing unboundedly when either the service-wide
+    pending budget or every worker shard's batch queue is full.  Callers are
+    expected to shed load or retry after a delay.
+    """
+
+    def __init__(self, what: str, pending: int, capacity: int):
+        self.what = what
+        self.pending = int(pending)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"{what} saturated: {pending} pending against a capacity of {capacity}"
+        )

@@ -141,6 +141,40 @@ class OnlineLearner:
             return self._learn_track(track_id)
         return UNKNOWN_LABEL
 
+    def observe_many(
+        self, track_ids: np.ndarray, signatures: np.ndarray
+    ) -> np.ndarray:
+        """Process one micro-batch of signatures from many tracks at once.
+
+        The whole batch is first screened in one vectorised pass
+        (:meth:`~repro.core.SomClassifier.predict_batch` plus the novelty
+        mask); confidently-known signatures are answered immediately, and
+        only the novel remainder goes through the sequential
+        :meth:`observe` path with its buffering and on-line updates.  When
+        an update fires mid-batch, signatures screened earlier keep the
+        answer of the pre-update map -- the same outcome as if they had
+        been answered just before the update, which is exactly the
+        ordering a micro-batched serving front-end produces.
+        """
+        signatures = np.asarray(signatures, dtype=np.uint8)
+        if signatures.ndim == 1:
+            signatures = signatures[np.newaxis, :]
+        track_ids = np.asarray(track_ids)
+        if track_ids.ndim != 1 or track_ids.shape[0] != signatures.shape[0]:
+            raise ConfigurationError(
+                f"got {signatures.shape[0]} signatures but track_ids of shape "
+                f"{track_ids.shape}"
+            )
+        prediction = self.classifier.predict_batch(signatures)
+        # The learner keeps detector.threshold synchronised with the
+        # classifier's rejection threshold, so predict_batch has already
+        # folded the novelty decision into the rejection mask: the slow
+        # path is exactly the UNKNOWN_LABEL rows.
+        labels = prediction.labels.copy()
+        for index in np.flatnonzero(labels == UNKNOWN_LABEL):
+            labels[index] = self.observe(int(track_ids[index]), signatures[index])
+        return labels
+
     def _learn_track(self, track_id: int) -> int:
         """Fold a track's accumulated novel signatures into the map."""
         signatures = np.vstack(self._pending.pop(track_id))

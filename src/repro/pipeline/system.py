@@ -15,10 +15,17 @@ chain in one object:
 6. a trained classifier (software bSOM, cSOM, or the cycle-accurate FPGA
    model through its software-compatible interface) assigns an identity,
    with per-track majority voting to smooth single-frame errors.
+
+Classification is batched per frame: every silhouette of a frame is scored
+in one ``predict_batch`` call, and a system can alternatively be attached
+to a :class:`repro.serve.StreamingInferenceService` so its frames ride the
+shared micro-batching/caching/sharding path alongside other cameras
+(:meth:`RecognitionSystem.attach_service`).
 """
 
 from __future__ import annotations
 
+import time
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Optional
@@ -26,7 +33,12 @@ from typing import Optional
 import numpy as np
 
 from repro.core.classifier import SomClassifier, UNKNOWN_LABEL
-from repro.errors import ConfigurationError, NotFittedError
+from repro.errors import (
+    ConfigurationError,
+    NotFittedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.signatures.binarize import MeanThreshold, ThresholdStrategy
 from repro.signatures.histogram import rgb_histogram
 from repro.signatures.binarize import binarize_histogram
@@ -148,6 +160,86 @@ class RecognitionSystem:
             lambda: TrackIdentity(track_id=-1)
         )
         self.frames_processed = 0
+        self._service = None
+        self._service_model: Optional[str] = None
+        self.stream_id = "camera-0"
+
+    # ------------------------------------------------------------------ #
+    # Serving integration
+    # ------------------------------------------------------------------ #
+    def attach_service(
+        self, service, model: str, *, stream_id: Optional[str] = None
+    ) -> None:
+        """Route this system's classifications through a streaming service.
+
+        Parameters
+        ----------
+        service:
+            A running :class:`repro.serve.StreamingInferenceService`.
+        model:
+            Registry name of the model to classify with.  The service's
+            model does not have to be ``self.classifier`` -- a system can
+            segment/track locally while a central registry serves a newer
+            map snapshot.
+        stream_id:
+            Camera name reported with every request; defaults to
+            :attr:`stream_id`.
+        """
+        served = service.registry.classifier(model)  # fail fast on unknown names
+        expected_bits = 3 * self.config.bins_per_channel
+        if served.som.n_bits != expected_bits:
+            raise ConfigurationError(
+                f"model {model!r} expects {served.som.n_bits}-bit signatures but "
+                f"this system extracts {expected_bits}-bit signatures "
+                f"({self.config.bins_per_channel} bins per channel)"
+            )
+        self._service = service
+        self._service_model = model
+        if stream_id is not None:
+            self.stream_id = stream_id
+
+    def detach_service(self) -> None:
+        """Go back to classifying in-process with ``self.classifier``."""
+        self._service = None
+        self._service_model = None
+
+    @property
+    def service_attached(self) -> bool:
+        return self._service is not None
+
+    #: Attempts against a saturated service before falling back in-process.
+    SERVICE_BACKPRESSURE_RETRIES = 20
+    SERVICE_BACKPRESSURE_BACKOFF_S = 0.002
+
+    def _classify_batch(self, signatures: np.ndarray):
+        """(labels, distances) for a frame's stacked signatures.
+
+        Backpressure from the attached service (raised by ``submit`` or
+        re-raised from a shed batch's futures) is retried with a short
+        backoff; any other service failure (model evicted mid-stream,
+        service stopped, response timeout) falls back immediately.  Either
+        way the frame is ultimately classified in-process with
+        ``self.classifier`` so :meth:`process_frame` always completes --
+        the tracker has already consumed the frame by the time
+        classification runs, so raising here would corrupt track state on a
+        retry.
+        """
+        if self._service is not None:
+            for _ in range(self.SERVICE_BACKPRESSURE_RETRIES):
+                try:
+                    responses = self._service.classify(
+                        self._service_model, signatures, stream_id=self.stream_id
+                    )
+                except ServiceOverloadedError:
+                    time.sleep(self.SERVICE_BACKPRESSURE_BACKOFF_S)
+                    continue
+                except ServiceError:
+                    break
+                labels = [response.label for response in responses]
+                distances = [response.distance for response in responses]
+                return labels, distances
+        prediction = self.classifier.predict_batch(signatures)
+        return prediction.labels.tolist(), prediction.distances.tolist()
 
     # ------------------------------------------------------------------ #
     # Per-frame processing
@@ -175,26 +267,38 @@ class RecognitionSystem:
         return BinarySignature(bits=bits)
 
     def process_frame(self, frame: Frame) -> list[FrameObservation]:
-        """Run the full pipeline on one frame and return the identifications."""
+        """Run the full pipeline on one frame and return the identifications.
+
+        All of a frame's silhouettes are classified in one batch -- either
+        through the attached streaming service or directly via
+        :meth:`~repro.core.SomClassifier.predict_batch`.
+        """
         blobs = self.segment(frame.image)
         assignments = self.tracker.update(frame.index, blobs)
         observations: list[FrameObservation] = []
-        for track_id, blob in assignments.items():
-            signature = self.extract_signature(frame.image, blob)
-            prediction = self.classifier.predict_one(signature.bits)
-            identity = self._identities[track_id]
-            identity.track_id = track_id
-            identity.add_vote(prediction.label, self.config.vote_window)
-            observations.append(
-                FrameObservation(
-                    frame_index=frame.index,
-                    track_id=track_id,
-                    label=prediction.label,
-                    distance=prediction.distance,
-                    signature=signature,
-                    blob=blob,
+        if assignments:
+            tracked = list(assignments.items())
+            signatures = [
+                self.extract_signature(frame.image, blob) for _, blob in tracked
+            ]
+            stacked = np.vstack([signature.bits for signature in signatures])
+            labels, distances = self._classify_batch(stacked)
+            for (track_id, blob), signature, label, distance in zip(
+                tracked, signatures, labels, distances
+            ):
+                identity = self._identities[track_id]
+                identity.track_id = track_id
+                identity.add_vote(label, self.config.vote_window)
+                observations.append(
+                    FrameObservation(
+                        frame_index=frame.index,
+                        track_id=track_id,
+                        label=int(label),
+                        distance=float(distance),
+                        signature=signature,
+                        blob=blob,
+                    )
                 )
-            )
         self.frames_processed += 1
         return observations
 

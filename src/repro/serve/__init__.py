@@ -1,0 +1,66 @@
+"""Streaming inference service for multi-camera deployments.
+
+The paper deploys one bSOM behind one camera; this subpackage scales the
+reproduction toward the ROADMAP's many-camera, heavy-traffic goal.  The
+moving parts, front to back:
+
+* :mod:`repro.serve.request` -- request/response values and the small
+  future (:class:`PendingResult`) a caller waits on,
+* :mod:`repro.serve.batching` -- the micro-batching scheduler: size- and
+  deadline-bounded batches per model, so many single-signature requests
+  are scored in one vectorised ``predict_batch`` call,
+* :mod:`repro.serve.cache` -- an LRU cache keyed on packed signatures;
+  repeated silhouettes skip the SOM entirely,
+* :mod:`repro.serve.shard` -- thread-backed worker shards with
+  round-robin / least-loaded routing and bounded queues,
+* :mod:`repro.serve.registry` -- named classifier snapshots (loadable via
+  :mod:`repro.core.serialization`) each behind its own shard group,
+* :mod:`repro.serve.metrics` -- latency percentiles, batch fill, cache
+  hit-rate and queue-depth telemetry,
+* :mod:`repro.serve.service` -- the front-end wiring it all together with
+  backpressure, and
+* :mod:`repro.serve.streams` -- simulated camera streams for load tests,
+  demos and benchmarks.
+
+Quick start
+-----------
+>>> from repro.serve import ServiceConfig, StreamingInferenceService
+>>> service = StreamingInferenceService(config=ServiceConfig(batch_size=16))
+>>> service.register_model("hall", fitted_classifier)       # doctest: +SKIP
+>>> with service:                                           # doctest: +SKIP
+...     future = service.submit(signature, model="hall", stream_id="cam-0")
+...     response = future.result()
+"""
+
+from repro.serve.batching import MicroBatch, MicroBatchScheduler
+from repro.serve.cache import CachedOutcome, SignatureLruCache
+from repro.serve.metrics import MetricsSnapshot, ServiceMetrics
+from repro.serve.registry import ModelRegistry
+from repro.serve.request import (
+    ClassificationRequest,
+    ClassificationResponse,
+    PendingResult,
+)
+from repro.serve.service import ServiceConfig, StreamingInferenceService
+from repro.serve.shard import ShardGroup, WorkerShard
+from repro.serve.streams import SimulatedCameraStream, StreamReport, drive_streams
+
+__all__ = [
+    "MicroBatch",
+    "MicroBatchScheduler",
+    "CachedOutcome",
+    "SignatureLruCache",
+    "MetricsSnapshot",
+    "ServiceMetrics",
+    "ModelRegistry",
+    "ClassificationRequest",
+    "ClassificationResponse",
+    "PendingResult",
+    "ServiceConfig",
+    "StreamingInferenceService",
+    "ShardGroup",
+    "WorkerShard",
+    "SimulatedCameraStream",
+    "StreamReport",
+    "drive_streams",
+]

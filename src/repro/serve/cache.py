@@ -1,0 +1,106 @@
+"""LRU cache over packed binary signatures.
+
+A surveillance feed is massively repetitive: the same person produces the
+same (or bit-identical, after mean-threshold binarisation) 768-bit signature
+for many consecutive frames.  Since the bSOM is deterministic at inference
+time, a signature's classification can be memoised outright -- keyed on the
+packed 96-byte form from :func:`repro.signatures.packing.signature_key`
+plus the model name, so two models never share entries.
+
+The cache stores the *outcome* (label, neuron, distance, rejection,
+confidence), not the response object, because latency and stream identity
+differ per request even when the classification is identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CachedOutcome:
+    """The model-determined part of a classification, safe to memoise."""
+
+    label: int
+    neuron: int
+    distance: float
+    rejected: bool
+    confidence: float
+
+
+class SignatureLruCache:
+    """Thread-safe LRU map from ``(model, packed signature)`` to outcomes.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently *used* entry is
+        evicted when a new one would exceed it.  A capacity of 0 disables
+        the cache (every ``get`` misses, ``put`` is a no-op), which the
+        benchmarks use to isolate batching gains from caching gains.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 0:
+            raise ConfigurationError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[str, bytes], CachedOutcome]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, model: str, key: bytes) -> Optional[CachedOutcome]:
+        """Look up a signature; counts a hit or miss and refreshes recency."""
+        with self._lock:
+            outcome = self._entries.get((model, key))
+            if outcome is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((model, key))
+            self.hits += 1
+            return outcome
+
+    def put(self, model: str, key: bytes, outcome: CachedOutcome) -> None:
+        """Insert or refresh an entry, evicting the LRU one when full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            full_key = (model, key)
+            if full_key in self._entries:
+                self._entries.move_to_end(full_key)
+            self._entries[full_key] = outcome
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_model(self, model: str) -> int:
+        """Drop every entry of one model (used when the registry evicts it)."""
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == model]
+            for k in stale:
+                del self._entries[k]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, model_and_key: tuple[str, bytes]) -> bool:
+        with self._lock:
+            return model_and_key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,172 @@
+"""Service telemetry: latency percentiles, batch fill, cache and queues.
+
+Production serving lives and dies by a handful of signals, and the paper's
+throughput story (Table IV / figure 6) is exactly such a signal for the
+FPGA.  This module keeps the software service honest the same way:
+
+* request latency (submit-to-resolve) with p50/p95/p99 percentiles over a
+  bounded sliding window of recent samples,
+* batch fill -- how close the micro-batcher gets to its configured batch
+  size, the lever that trades latency for throughput,
+* cache hit rate, mirrored from the signature LRU cache, and
+* per-shard queue depth plus a count of backpressure rejections.
+
+Everything is counter- or window-based and guarded by one lock; recording
+is O(1) so shards can call it on the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time view of the service's health.
+
+    Attributes
+    ----------
+    requests_total:
+        Requests accepted (cache hits included).
+    responses_total:
+        Requests resolved with a classification.
+    cache_hits, cache_misses, cache_hit_rate:
+        Signature-cache effectiveness.
+    backpressure_rejections:
+        Requests refused because queues were saturated.
+    batches_total:
+        Micro-batches dispatched to shards.
+    mean_batch_fill:
+        Average fill fraction of dispatched batches (1.0 = always full).
+    mean_batch_size:
+        Average number of requests per dispatched batch.
+    latency_p50_ms, latency_p95_ms, latency_p99_ms:
+        Percentiles over the recent-latency window, in milliseconds.
+    queue_depths:
+        Batches queued per shard, keyed by shard name, at snapshot time.
+    """
+
+    requests_total: int
+    responses_total: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    backpressure_rejections: int
+    batches_total: int
+    mean_batch_fill: float
+    mean_batch_size: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    queue_depths: dict[str, int] = field(default_factory=dict)
+
+
+class ServiceMetrics:
+    """Thread-safe accumulator behind :class:`MetricsSnapshot`.
+
+    Parameters
+    ----------
+    latency_window:
+        Number of most recent latency samples retained for the percentile
+        estimates.  Bounded so a long-running service cannot grow without
+        limit; 4096 samples give stable p99 estimates at realistic rates.
+    """
+
+    def __init__(self, latency_window: int = 4096):
+        if latency_window <= 0:
+            raise ConfigurationError(
+                f"latency_window must be positive, got {latency_window}"
+            )
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=int(latency_window))
+        self.requests_total = 0
+        self.responses_total = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.backpressure_rejections = 0
+        self.batches_total = 0
+        self._fill_sum = 0.0
+        self._size_sum = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording (hot path)
+    # ------------------------------------------------------------------ #
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests_total += 1
+
+    def record_response(self, latency_s: float) -> None:
+        with self._lock:
+            self.responses_total += 1
+            self._latencies.append(float(latency_s))
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_backpressure(self, count: int = 1) -> None:
+        """Count refused requests (a shed batch refuses all its members)."""
+        with self._lock:
+            self.backpressure_rejections += int(count)
+
+    def record_batch(self, size: int, fill_fraction: float) -> None:
+        with self._lock:
+            self.batches_total += 1
+            self._fill_sum += float(fill_fraction)
+            self._size_sum += int(size)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def latency_percentile_ms(self, percentile: float) -> float:
+        """Latency percentile over the retained window, in milliseconds."""
+        if not 0.0 <= percentile <= 100.0:
+            raise ConfigurationError(
+                f"percentile must lie in [0, 100], got {percentile}"
+            )
+        with self._lock:
+            if not self._latencies:
+                return 0.0
+            samples = np.asarray(self._latencies, dtype=np.float64)
+        return float(np.percentile(samples, percentile)) * 1e3
+
+    def snapshot(self, queue_depths: dict[str, int] | None = None) -> MetricsSnapshot:
+        """Freeze the counters (and optional shard queue depths) for reporting."""
+        with self._lock:
+            lookups = self.cache_hits + self.cache_misses
+            samples = np.asarray(self._latencies, dtype=np.float64)
+            counters = dict(
+                requests_total=self.requests_total,
+                responses_total=self.responses_total,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                cache_hit_rate=self.cache_hits / lookups if lookups else 0.0,
+                backpressure_rejections=self.backpressure_rejections,
+                batches_total=self.batches_total,
+                mean_batch_fill=(
+                    self._fill_sum / self.batches_total if self.batches_total else 0.0
+                ),
+                mean_batch_size=(
+                    self._size_sum / self.batches_total if self.batches_total else 0.0
+                ),
+            )
+        if samples.size:
+            p50, p95, p99 = np.percentile(samples, (50.0, 95.0, 99.0)) * 1e3
+        else:
+            p50 = p95 = p99 = 0.0
+        return MetricsSnapshot(
+            latency_p50_ms=float(p50),
+            latency_p95_ms=float(p95),
+            latency_p99_ms=float(p99),
+            queue_depths=dict(queue_depths or {}),
+            **counters,
+        )

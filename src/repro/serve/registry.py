@@ -1,0 +1,211 @@
+"""The sharded model registry: named classifier snapshots behind shards.
+
+The paper's deployment flow trains the map off-line and ships the frozen
+weights to the FPGA; :mod:`repro.core.serialization` reproduces that as
+``.npz`` snapshots.  The registry is the serving-side half of the story: it
+loads named snapshots (or accepts already-fitted classifiers), stands up a
+:class:`~repro.serve.shard.ShardGroup` of worker threads for each, and
+routes micro-batches to them.  Several cameras can thus be served by
+different map generations side by side -- e.g. ``"hall-v1"`` still serving
+while ``"hall-v2"`` warms up -- and evicting a name tears its shards down
+cleanly.
+
+The registry works standalone (futures are resolved directly by a default
+completion path) or bound to a :class:`~repro.serve.service.StreamingInferenceService`,
+which replaces the completion callback to add caching and telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.core.classifier import BatchPrediction, SomClassifier
+from repro.core.serialization import PathLike, load_model
+from repro.errors import ConfigurationError, DataError, UnknownModelError
+from repro.serve.batching import MicroBatch
+from repro.serve.request import resolve_requests
+from repro.serve.shard import ShardGroup, WorkerShard
+
+
+class ModelRegistry:
+    """Named, sharded classifier snapshots with batch routing.
+
+    Parameters
+    ----------
+    n_shards:
+        Worker shards (threads) per registered model.
+    policy:
+        Shard routing policy: ``"round_robin"`` or ``"least_loaded"``.
+    queue_capacity:
+        Per-shard bounded queue size (the backpressure knob).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_shards: int = 2,
+        policy: str = "round_robin",
+        queue_capacity: int = 8,
+    ):
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self.policy = policy
+        self.queue_capacity = int(queue_capacity)
+        self._lock = threading.Lock()
+        self._groups: dict[str, ShardGroup] = {}
+        self._classifiers: dict[str, SomClassifier] = {}
+        self._started = False
+        self._completion: Callable[[WorkerShard, MicroBatch, BatchPrediction], None] = (
+            self._default_completion
+        )
+        self._failure: Optional[
+            Callable[[WorkerShard, MicroBatch, BaseException], None]
+        ] = None
+
+    # ------------------------------------------------------------------ #
+    # Completion binding
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _default_completion(
+        shard: WorkerShard, batch: MicroBatch, prediction: BatchPrediction
+    ) -> None:
+        resolve_requests(batch.requests, prediction, clock=time.monotonic)
+
+    def bind_completion(
+        self,
+        completion: Callable[[WorkerShard, MicroBatch, BatchPrediction], None],
+        failure: Optional[
+            Callable[[WorkerShard, MicroBatch, BaseException], None]
+        ] = None,
+    ) -> None:
+        """Replace the completion/failure paths (the service adds cache,
+        metrics and pending-budget accounting)."""
+        self._completion = completion
+        self._failure = failure
+
+    def _dispatch_completion(
+        self, shard: WorkerShard, batch: MicroBatch, prediction: BatchPrediction
+    ) -> None:
+        # Late-bound indirection so shards created before bind_completion()
+        # still route through the service once it attaches.
+        self._completion(shard, batch, prediction)
+
+    def _dispatch_failure(
+        self, shard: WorkerShard, batch: MicroBatch, error: BaseException
+    ) -> None:
+        # The shard has already delivered the error to the batch's futures;
+        # this hook exists for service-side accounting.
+        if self._failure is not None:
+            self._failure(shard, batch, error)
+
+    # ------------------------------------------------------------------ #
+    # Registration and loading
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, classifier: SomClassifier) -> ShardGroup:
+        """Register a fitted classifier under ``name`` and build its shards."""
+        if not name:
+            raise ConfigurationError("model name must be a non-empty string")
+        if classifier.labelling is None:
+            raise DataError(
+                f"model {name!r} must be fitted (or labelled) before it can serve"
+            )
+        with self._lock:
+            if name in self._groups:
+                raise ConfigurationError(f"a model named {name!r} is already registered")
+            group = ShardGroup(
+                name,
+                classifier,
+                self._dispatch_completion,
+                failure=self._dispatch_failure,
+                n_shards=self.n_shards,
+                policy=self.policy,
+                queue_capacity=self.queue_capacity,
+            )
+            self._groups[name] = group
+            self._classifiers[name] = classifier
+            if self._started:
+                group.start()
+            return group
+
+    def load(self, name: str, path: PathLike) -> SomClassifier:
+        """Load a classifier snapshot saved by ``save_model`` and register it."""
+        model = load_model(path)
+        if not isinstance(model, SomClassifier):
+            raise DataError(
+                f"snapshot {path} holds a bare {type(model).__name__}, not a "
+                "SomClassifier; save the fitted classifier, not just the map"
+            )
+        self.register(name, model)
+        return model
+
+    def evict(self, name: str) -> SomClassifier:
+        """Unregister ``name``, stop its shards, and return its classifier."""
+        with self._lock:
+            group = self._groups.pop(name, None)
+            if group is None:
+                raise UnknownModelError(name, tuple(self._groups))
+            classifier = self._classifiers.pop(name)
+        group.stop()
+        return classifier
+
+    # ------------------------------------------------------------------ #
+    # Lookup and routing
+    # ------------------------------------------------------------------ #
+    def group(self, name: str) -> ShardGroup:
+        with self._lock:
+            group = self._groups.get(name)
+            if group is None:
+                raise UnknownModelError(name, tuple(self._groups))
+            return group
+
+    def classifier(self, name: str) -> SomClassifier:
+        with self._lock:
+            classifier = self._classifiers.get(name)
+            if classifier is None:
+                raise UnknownModelError(name, tuple(self._classifiers))
+            return classifier
+
+    def submit(self, batch: MicroBatch) -> WorkerShard:
+        """Route a micro-batch to a shard of its model."""
+        return self.group(batch.model).submit(batch)
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._groups)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._groups
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._groups)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle and telemetry
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        with self._lock:
+            self._started = True
+            groups = list(self._groups.values())
+        for group in groups:
+            group.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            self._started = False
+            groups = list(self._groups.values())
+        for group in groups:
+            group.stop(timeout)
+
+    def queue_depths(self) -> dict[str, int]:
+        """Queued batches per shard across every registered model."""
+        with self._lock:
+            groups = list(self._groups.values())
+        depths: dict[str, int] = {}
+        for group in groups:
+            depths.update(group.queue_depths())
+        return depths

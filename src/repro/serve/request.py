@@ -1,0 +1,142 @@
+"""Request/response value objects for the streaming inference service.
+
+A camera stream submits one :class:`ClassificationRequest` per silhouette
+signature and receives a :class:`PendingResult` -- a small future that the
+worker shard resolves with a :class:`ClassificationResponse` once the
+request's micro-batch has been classified (or immediately, on a cache hit).
+
+The objects are deliberately dumb: all scheduling, caching and routing
+policy lives in :mod:`repro.serve.service` and friends.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ServiceError
+
+
+@dataclass(frozen=True)
+class ClassificationResponse:
+    """The service's answer to one classification request.
+
+    Attributes
+    ----------
+    label:
+        Predicted identity (``UNKNOWN_LABEL`` when rejected).
+    neuron:
+        Winning neuron index (``-1`` for cache hits recorded before the
+        winning neuron was known -- never the case in practice, cached
+        entries store the full outcome).
+    distance:
+        Winning (masked Hamming) distance.
+    rejected:
+        Whether the unknown-rejection threshold fired.
+    confidence:
+        Win-frequency purity of the winning neuron's label.
+    model:
+        Name of the registry model that served the request.
+    stream_id:
+        The camera stream the request came from.
+    request_id:
+        Service-wide monotonically increasing request number.
+    cached:
+        ``True`` when the answer came from the signature LRU cache and the
+        SOM was never consulted.
+    latency_s:
+        Submit-to-resolve wall-clock latency in seconds.
+    """
+
+    label: int
+    neuron: int
+    distance: float
+    rejected: bool
+    confidence: float
+    model: str
+    stream_id: str
+    request_id: int
+    cached: bool
+    latency_s: float
+
+
+class PendingResult:
+    """A minimal thread-safe future for one in-flight request.
+
+    ``concurrent.futures.Future`` would work, but this variant is a few
+    lines, cannot be cancelled half-way through a shard's resolve loop, and
+    keeps the serving layer dependency-free.
+    """
+
+    __slots__ = ("_event", "_response", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: Optional[ClassificationResponse] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """Whether a response (or error) has been delivered."""
+        return self._event.is_set()
+
+    def set_result(self, response: ClassificationResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> ClassificationResponse:
+        """Block until the response arrives; re-raise shard-side errors."""
+        if not self._event.wait(timeout):
+            raise ServiceError(
+                f"request did not complete within {timeout} seconds"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+
+@dataclass
+class ClassificationRequest:
+    """One signature queued for micro-batched classification."""
+
+    signature: np.ndarray
+    model: str
+    stream_id: str
+    request_id: int
+    cache_key: bytes
+    enqueued_at: float
+    pending: PendingResult = field(default_factory=PendingResult)
+
+
+def resolve_requests(requests, prediction, *, clock) -> list[ClassificationResponse]:
+    """Resolve each request's future from one row of a batch prediction.
+
+    Shared by the service's completion path and by a registry used without
+    a service: ``prediction`` is the :class:`repro.core.BatchPrediction`
+    for the stacked signatures of ``requests``, in the same order.
+    """
+    responses: list[ClassificationResponse] = []
+    now = clock()
+    for row, request in enumerate(requests):
+        response = ClassificationResponse(
+            label=int(prediction.labels[row]),
+            neuron=int(prediction.neurons[row]),
+            distance=float(prediction.distances[row]),
+            rejected=bool(prediction.rejected[row]),
+            confidence=float(prediction.confidences[row]),
+            model=request.model,
+            stream_id=request.stream_id,
+            request_id=request.request_id,
+            cached=False,
+            latency_s=max(0.0, now - request.enqueued_at),
+        )
+        request.pending.set_result(response)
+        responses.append(response)
+    return responses

@@ -1,0 +1,415 @@
+"""The streaming inference service front-end.
+
+:class:`StreamingInferenceService` is the piece a multi-camera deployment
+talks to.  Per request it:
+
+1. checks the signature LRU cache (packed-signature key) and answers
+   immediately on a hit -- a repeated silhouette never touches the SOM,
+2. otherwise admits the request against a service-wide pending budget
+   (raising :class:`~repro.errors.ServiceOverloadedError` when saturated --
+   backpressure instead of unbounded queues),
+3. hands it to the micro-batching scheduler, which cuts size- or
+   deadline-bounded batches per model, and
+4. routes each batch through the sharded model registry to a worker
+   thread, whose completion path resolves the futures, fills the cache and
+   records the telemetry.
+
+A background dispatcher thread enforces the deadline flushes so a lone
+low-rate stream still sees bounded latency.  The service is a context
+manager: ``with StreamingInferenceService(...) as service: ...``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.classifier import BatchPrediction, SomClassifier
+from repro.core.serialization import PathLike
+from repro.errors import ConfigurationError, ServiceError, ServiceOverloadedError
+from repro.serve.batching import MicroBatch, MicroBatchScheduler
+from repro.serve.cache import CachedOutcome, SignatureLruCache
+from repro.serve.metrics import MetricsSnapshot, ServiceMetrics
+from repro.serve.registry import ModelRegistry
+from repro.serve.request import (
+    ClassificationRequest,
+    ClassificationResponse,
+    PendingResult,
+    resolve_requests,
+)
+from repro.serve.shard import WorkerShard
+from repro.signatures.packing import signature_key
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of the streaming service.
+
+    Attributes
+    ----------
+    batch_size:
+        Micro-batch size target; a full lane flushes immediately.
+    max_delay_ms:
+        Deadline bound: no admitted request waits longer than this for its
+        batch to be cut.
+    cache_capacity:
+        Signature LRU cache entries (0 disables caching).
+    n_shards:
+        Worker shards per registered model.
+    routing_policy:
+        ``"round_robin"`` or ``"least_loaded"`` shard selection.
+    shard_queue_capacity:
+        Bounded batch queue per shard.
+    max_pending:
+        Service-wide cap on admitted-but-unresolved requests; submissions
+        beyond it are refused with :class:`ServiceOverloadedError`.
+    """
+
+    batch_size: int = 32
+    max_delay_ms: float = 5.0
+    cache_capacity: int = 2048
+    n_shards: int = 2
+    routing_policy: str = "round_robin"
+    shard_queue_capacity: int = 8
+    max_pending: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive, got {self.batch_size}"
+            )
+        if self.max_delay_ms <= 0:
+            raise ConfigurationError(
+                f"max_delay_ms must be positive, got {self.max_delay_ms}"
+            )
+        if self.max_pending <= 0:
+            raise ConfigurationError(
+                f"max_pending must be positive, got {self.max_pending}"
+            )
+
+
+class StreamingInferenceService:
+    """Micro-batched, sharded, cached classification for camera streams.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`ModelRegistry` to serve from; built from ``config`` when
+        omitted.  The service binds the registry's completion path to its
+        own cache/metrics pipeline.
+    config:
+        Service configuration (defaults are sensible for tests/demos).
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        config: Optional[ServiceConfig] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or ServiceConfig()
+        self.registry = registry or ModelRegistry(
+            n_shards=self.config.n_shards,
+            policy=self.config.routing_policy,
+            queue_capacity=self.config.shard_queue_capacity,
+        )
+        self.registry.bind_completion(self._on_batch_done, self._on_batch_failed)
+        self._clock = clock
+        self.scheduler = MicroBatchScheduler(
+            batch_size=self.config.batch_size,
+            max_delay_s=self.config.max_delay_ms / 1e3,
+            clock=clock,
+        )
+        self.cache = SignatureLruCache(self.config.cache_capacity)
+        self.metrics = ServiceMetrics()
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._next_request_id = 0
+        self._id_lock = threading.Lock()
+        self._running = False
+        # Guards the running flag against the submit path: stop() flips it
+        # under this lock, and submit() enqueues under it, so no request can
+        # reach the scheduler after stop() has drained the lanes (a stranded
+        # request would leave its future unresolved until the caller's
+        # timeout).
+        self._state_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._wake = threading.Event()
+        self._dispatcher: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "StreamingInferenceService":
+        if self._running:
+            return self
+        self._stop_event.clear()
+        self.registry.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._running = True
+        self._dispatcher.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        with self._state_lock:
+            if not self._running:
+                return
+            self._running = False
+        self._stop_event.set()
+        self._wake.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout)
+            self._dispatcher = None
+        # Push whatever is still buffered through the shards, then drain them.
+        for batch in self.scheduler.drain():
+            self._dispatch(batch)
+        self.registry.stop(timeout)
+
+    def __enter__(self) -> "StreamingInferenceService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------ #
+    # Model management (delegated to the registry)
+    # ------------------------------------------------------------------ #
+    def register_model(self, name: str, classifier: SomClassifier) -> None:
+        self.registry.register(name, classifier)
+
+    def load_model(self, name: str, path: PathLike) -> SomClassifier:
+        return self.registry.load(name, path)
+
+    def evict_model(self, name: str) -> SomClassifier:
+        classifier = self.registry.evict(name)
+        self.cache.invalidate_model(name)
+        return classifier
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, signature: np.ndarray, *, model: str, stream_id: str = ""
+    ) -> PendingResult:
+        """Queue one signature for classification; returns its future.
+
+        Cache hits resolve before this method returns.  Raises
+        :class:`ServiceOverloadedError` when the service-wide pending
+        budget is full, and :class:`UnknownModelError` for an unregistered
+        model name.  Shard-queue saturation is only detectable at dispatch
+        time (the batch holds other callers' requests and may be cut by the
+        deadline thread), so that flavour of backpressure is delivered
+        through the future: ``result()`` re-raises the
+        :class:`ServiceOverloadedError` for every request of the shed
+        batch.  Callers should treat both paths as "retry later";
+        :func:`repro.serve.streams.drive_streams` shows the pattern.
+        """
+        if not self._running:
+            raise ServiceError("the service is not running; call start() first")
+        classifier = self.registry.classifier(model)  # raises UnknownModelError
+        signature = np.asarray(signature)
+        key = signature_key(signature)  # validates the bit vector
+        if signature.size != classifier.som.n_bits:
+            raise ConfigurationError(
+                f"model {model!r} expects {classifier.som.n_bits}-bit signatures, "
+                f"got {signature.size} bits"
+            )
+        now = self._clock()
+        with self._id_lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+
+        outcome = self.cache.get(model, key)
+        if outcome is not None:
+            self.metrics.record_request()
+            self.metrics.record_cache(hit=True)
+            pending = PendingResult()
+            response = ClassificationResponse(
+                label=outcome.label,
+                neuron=outcome.neuron,
+                distance=outcome.distance,
+                rejected=outcome.rejected,
+                confidence=outcome.confidence,
+                model=model,
+                stream_id=stream_id,
+                request_id=request_id,
+                cached=True,
+                latency_s=max(0.0, self._clock() - now),
+            )
+            pending.set_result(response)
+            self.metrics.record_response(response.latency_s)
+            return pending
+
+        with self._pending_lock:
+            if self._pending >= self.config.max_pending:
+                # Refused attempts count as backpressure only -- neither a
+                # request nor a cache miss -- so requests_total keeps the
+                # documented meaning of "requests accepted".
+                self.metrics.record_backpressure()
+                raise ServiceOverloadedError(
+                    "service pending budget",
+                    pending=self._pending,
+                    capacity=self.config.max_pending,
+                )
+            self._pending += 1
+        self.metrics.record_request()
+        self.metrics.record_cache(hit=False)
+
+        request = ClassificationRequest(
+            signature=signature.astype(np.uint8, copy=True),
+            model=model,
+            stream_id=stream_id,
+            request_id=request_id,
+            cache_key=key,
+            enqueued_at=now,
+        )
+        with self._state_lock:
+            if not self._running:
+                # stop() won the race after the entry check: fail fast
+                # instead of stranding the request in a drained lane.
+                with self._pending_lock:
+                    self._pending -= 1
+                raise ServiceError("the service is not running; call start() first")
+            full_batch = self.scheduler.submit(request)
+            if full_batch is not None:
+                # Dispatch inside the lock so stop() cannot slip its shard
+                # shutdown sentinel in front of this batch.
+                self._dispatch(full_batch)
+        if full_batch is None:
+            self._wake.set()
+        return request.pending
+
+    def classify(
+        self,
+        model: str,
+        X: np.ndarray,
+        *,
+        stream_id: str = "",
+        timeout: float = 30.0,
+    ) -> list[ClassificationResponse]:
+        """Synchronous convenience: submit every row of ``X`` and wait.
+
+        This is the path :class:`repro.pipeline.system.RecognitionSystem`
+        uses to push a frame's silhouettes through the service.
+
+        All-or-nothing: if a row's ``submit`` is refused with
+        :class:`ServiceOverloadedError`, the rows already submitted are
+        drained (their results awaited and discarded) before the error is
+        re-raised, so a retrying caller does not stack orphaned requests
+        onto the already-saturated pending budget.
+        """
+        X = np.asarray(X)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        futures = []
+        try:
+            for row in X:
+                futures.append(self.submit(row, model=model, stream_id=stream_id))
+        except ServiceOverloadedError:
+            # Drain without flushing: the deadline dispatcher cuts the
+            # orphans' lane within max_delay_ms, and a global flush here
+            # would fragment every other caller's half-filled batches at
+            # the exact moment the service is saturated.
+            for future in futures:
+                try:
+                    future.result(timeout)
+                except ServiceError:
+                    pass
+            raise
+        return [future.result(timeout) for future in futures]
+
+    def flush(self) -> None:
+        """Force-dispatch every buffered lane (bounded-latency barrier)."""
+        for batch in self.scheduler.drain():
+            self._dispatch(batch)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch and completion
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, batch: MicroBatch) -> None:
+        self.metrics.record_batch(len(batch), batch.fill_fraction)
+        try:
+            self.registry.submit(batch)
+        except ServiceOverloadedError as error:
+            # Shard queues saturated: shed the whole batch back to callers,
+            # counting one rejection per refused request.
+            self.metrics.record_backpressure(len(batch))
+            with self._pending_lock:
+                self._pending -= len(batch)
+            for request in batch.requests:
+                request.pending.set_exception(error)
+        except BaseException as error:
+            with self._pending_lock:
+                self._pending -= len(batch)
+            for request in batch.requests:
+                request.pending.set_exception(error)
+
+    def _on_batch_done(
+        self, shard: WorkerShard, batch: MicroBatch, prediction: BatchPrediction
+    ) -> None:
+        responses = resolve_requests(batch.requests, prediction, clock=self._clock)
+        with self._pending_lock:
+            self._pending -= len(batch)
+        for request, response in zip(batch.requests, responses):
+            self.cache.put(
+                request.model,
+                request.cache_key,
+                CachedOutcome(
+                    label=response.label,
+                    neuron=response.neuron,
+                    distance=response.distance,
+                    rejected=response.rejected,
+                    confidence=response.confidence,
+                ),
+            )
+            self.metrics.record_response(response.latency_s)
+
+    def _on_batch_failed(
+        self, shard: WorkerShard, batch: MicroBatch, error: BaseException
+    ) -> None:
+        # The shard already delivered `error` to every future; just release
+        # the pending-budget slots so a failing model cannot permanently
+        # exhaust max_pending.
+        with self._pending_lock:
+            self._pending -= len(batch)
+
+    def _dispatch_loop(self) -> None:
+        max_idle_wait = max(self.config.max_delay_ms / 1e3, 0.01)
+        while not self._stop_event.is_set():
+            deadline = self.scheduler.next_deadline()
+            if deadline is None:
+                self._wake.wait(timeout=max_idle_wait)
+                self._wake.clear()
+                continue
+            remaining = deadline - self._clock()
+            if remaining > 0:
+                self._wake.wait(timeout=remaining)
+                self._wake.clear()
+            for batch in self.scheduler.due():
+                self._dispatch(batch)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_requests(self) -> int:
+        """Admitted requests not yet resolved (cache hits excluded)."""
+        with self._pending_lock:
+            return self._pending
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Current counters plus a live per-shard queue-depth sample."""
+        return self.metrics.snapshot(self.registry.queue_depths())

@@ -1,0 +1,263 @@
+"""Worker shards: thread-backed batch executors behind each model.
+
+A shard owns a bounded queue of micro-batches and a worker thread that
+classifies each batch in one :meth:`SomClassifier.predict_batch` call.  A
+:class:`ShardGroup` fronts the N shards of one model and picks a shard per
+batch using one of two routing policies:
+
+* ``round_robin`` -- rotate through the shards, skipping full queues, and
+* ``least_loaded`` -- send the batch to the shard with the smallest load
+  (queued batches plus the one in flight).
+
+When every shard's queue is full the group raises
+:class:`~repro.errors.ServiceOverloadedError` -- the backpressure signal the
+service surfaces to callers instead of buffering without bound.
+
+Shards deliberately do not resolve request futures themselves: they hand
+``(batch, BatchPrediction)`` to a completion callback supplied by the
+service, which owns the cache and the metrics.  That keeps the shard loop
+model-only and lets tests drive a shard without a full service around it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Optional
+
+from repro.core.classifier import BatchPrediction, SomClassifier
+from repro.errors import ConfigurationError, ServiceOverloadedError
+from repro.serve.batching import MicroBatch
+
+import numpy as np
+
+#: Signature of the completion callback shards invoke after each batch.
+CompletionCallback = Callable[["WorkerShard", MicroBatch, BatchPrediction], None]
+
+#: Signature of the failure callback invoked when classification raises.
+FailureCallback = Callable[["WorkerShard", MicroBatch, BaseException], None]
+
+_ROUTING_POLICIES = ("round_robin", "least_loaded")
+
+
+class WorkerShard:
+    """One worker thread + bounded batch queue for one model replica.
+
+    Parameters
+    ----------
+    name:
+        Unique shard name (``"<model>/<index>"`` in a group); keys the
+        per-shard queue-depth telemetry.
+    classifier:
+        The fitted classifier replica this shard scores batches with.
+    completion:
+        Called with ``(shard, batch, prediction)`` after each batch; errors
+        during classification are delivered to the batch's futures instead.
+    failure:
+        Called with ``(shard, batch, error)`` after classification raises
+        (the futures have already received the error); the service uses it
+        to release the batch's pending-budget slots so a failing model
+        cannot permanently exhaust ``max_pending``.
+    queue_capacity:
+        Maximum queued batches before :meth:`try_submit` refuses.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        classifier: SomClassifier,
+        completion: CompletionCallback,
+        *,
+        failure: Optional[FailureCallback] = None,
+        queue_capacity: int = 8,
+    ):
+        if queue_capacity <= 0:
+            raise ConfigurationError(
+                f"queue_capacity must be positive, got {queue_capacity}"
+            )
+        self.name = name
+        self.classifier = classifier
+        self._completion = completion
+        self._failure = failure
+        self._queue: "queue.Queue[Optional[MicroBatch]]" = queue.Queue(
+            maxsize=int(queue_capacity)
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._in_flight = 0
+        self._lock = threading.Lock()
+        self.processed_batches = 0
+        self.processed_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name=f"shard-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain the queue, then stop the worker thread."""
+        if self._thread is None:
+            return
+        self._queue.put(None)  # sentinel; everything queued before it drains
+        self._thread.join(timeout)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def try_submit(self, batch: MicroBatch) -> bool:
+        """Queue a batch; ``False`` when the queue is full (backpressure)."""
+        try:
+            self._queue.put_nowait(batch)
+            return True
+        except queue.Full:
+            return False
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def load(self) -> int:
+        """Queued batches plus the batch currently being classified."""
+        with self._lock:
+            return self._queue.qsize() + self._in_flight
+
+    # ------------------------------------------------------------------ #
+    # Worker loop
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while True:
+            batch = self._queue.get()
+            if batch is None:
+                return
+            with self._lock:
+                self._in_flight = 1
+            try:
+                signatures = np.vstack([r.signature for r in batch.requests])
+                prediction = self.classifier.predict_batch(signatures)
+            except BaseException as error:  # deliver, never kill the worker
+                for request in batch.requests:
+                    request.pending.set_exception(error)
+                if self._failure is not None:
+                    self._failure(self, batch, error)
+            else:
+                self.processed_batches += 1
+                self.processed_requests += len(batch)
+                try:
+                    self._completion(self, batch, prediction)
+                except BaseException as error:
+                    # A buggy completion callback must not kill the worker
+                    # and strand every queued batch; deliver the error to
+                    # whatever futures the callback left unresolved.
+                    for request in batch.requests:
+                        if not request.pending.done():
+                            request.pending.set_exception(error)
+            finally:
+                with self._lock:
+                    self._in_flight = 0
+
+
+class ShardGroup:
+    """The routed set of worker shards behind one registered model.
+
+    Parameters
+    ----------
+    model:
+        Model name (shards are named ``"<model>/<index>"``).
+    classifier:
+        Fitted classifier shared by all shards.  ``predict_batch`` is
+        read-only over the weights, so replicas can share the object.
+    completion, failure:
+        Forwarded to every shard.
+    n_shards:
+        Number of worker threads.
+    policy:
+        ``"round_robin"`` or ``"least_loaded"``.
+    queue_capacity:
+        Per-shard queue bound.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        classifier: SomClassifier,
+        completion: CompletionCallback,
+        *,
+        failure: Optional[FailureCallback] = None,
+        n_shards: int = 2,
+        policy: str = "round_robin",
+        queue_capacity: int = 8,
+    ):
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
+        if policy not in _ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {_ROUTING_POLICIES}, got {policy!r}"
+            )
+        self.model = model
+        self.policy = policy
+        self.shards = [
+            WorkerShard(
+                f"{model}/{index}",
+                classifier,
+                completion,
+                failure=failure,
+                queue_capacity=queue_capacity,
+            )
+            for index in range(n_shards)
+        ]
+        self._rr_lock = threading.Lock()
+        self._rr_next = 0
+
+    def start(self) -> None:
+        for shard in self.shards:
+            shard.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        for shard in self.shards:
+            shard.stop(timeout)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _candidate_order(self) -> list[WorkerShard]:
+        if self.policy == "least_loaded":
+            return sorted(self.shards, key=lambda shard: shard.load)
+        with self._rr_lock:
+            start = self._rr_next
+            self._rr_next = (self._rr_next + 1) % len(self.shards)
+        return [
+            self.shards[(start + offset) % len(self.shards)]
+            for offset in range(len(self.shards))
+        ]
+
+    def submit(self, batch: MicroBatch) -> WorkerShard:
+        """Route a batch to a shard per the policy; raise when all are full."""
+        for shard in self._candidate_order():
+            if shard.try_submit(batch):
+                return shard
+        raise ServiceOverloadedError(
+            f"all {len(self.shards)} shard queues of model {self.model!r}",
+            pending=self.total_queue_depth,
+            capacity=sum(shard._queue.maxsize for shard in self.shards),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    @property
+    def total_queue_depth(self) -> int:
+        return sum(shard.queue_depth for shard in self.shards)
+
+    def queue_depths(self) -> dict[str, int]:
+        return {shard.name: shard.queue_depth for shard in self.shards}

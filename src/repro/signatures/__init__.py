@@ -40,6 +40,8 @@ from repro.signatures.binarize import (
 from repro.signatures.packing import (
     pack_bits,
     unpack_bits,
+    pack_signature_batch,
+    signature_key,
     signature_to_image,
     image_to_signature,
 )
@@ -63,6 +65,8 @@ __all__ = [
     "mean_threshold",
     "pack_bits",
     "unpack_bits",
+    "pack_signature_batch",
+    "signature_key",
     "signature_to_image",
     "image_to_signature",
     "BinarySignature",

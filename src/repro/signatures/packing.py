@@ -54,6 +54,38 @@ def unpack_bits(packed: np.ndarray, length: int) -> np.ndarray:
     return bits[:length].astype(np.uint8)
 
 
+def pack_signature_batch(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(n_samples, n_bits)`` binary matrix row-wise into bytes.
+
+    The batched counterpart of :func:`pack_bits`: one ``packbits`` call
+    over the whole matrix instead of a Python loop.  Each packed row equals
+    ``pack_bits`` of the corresponding input row, so row ``i`` of the
+    result is byte-identical to :func:`signature_key` of signature ``i`` --
+    useful for bulk-deriving cache keys or BlockRAM images of a whole
+    signature set.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise DataError(f"expected a 2-D bit matrix, got shape {bits.shape}")
+    if bits.size == 0:
+        raise DataError("bit matrix must not be empty")
+    if not np.all(np.isin(np.unique(bits), (0, 1))):
+        raise DataError("bit matrix must contain only zeros and ones")
+    return np.packbits(bits.astype(np.uint8), axis=1)
+
+
+def signature_key(bits: np.ndarray) -> bytes:
+    """Compact, hashable identity of one signature: its packed bytes.
+
+    Two signatures share a key exactly when they are bit-for-bit equal, so
+    the serving layer's LRU cache (:mod:`repro.serve.cache`) can treat the
+    packed 96-byte form of a 768-bit signature as the cache key -- repeated
+    silhouettes of the same object hash to the same entry and skip the SOM
+    entirely.
+    """
+    return pack_bits(bits).tobytes()
+
+
 def signature_to_image(
     bits: np.ndarray, shape: tuple[int, int] = SIGNATURE_IMAGE_SHAPE
 ) -> np.ndarray:

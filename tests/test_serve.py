@@ -1,0 +1,494 @@
+"""Tests of the streaming inference service subsystem (:mod:`repro.serve`).
+
+Covers the acceptance surface named in the issue: scheduler deadline/size
+flush behaviour, registry load/route/evict, LRU cache correctness under
+eviction, backpressure rejection paths, and the end-to-end service with
+concurrent simulated camera streams (including the pipeline attachment).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BinarySom, SomClassifier, save_model
+from repro.errors import (
+    ConfigurationError,
+    DataError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownModelError,
+)
+from repro.serve import (
+    CachedOutcome,
+    MicroBatchScheduler,
+    ModelRegistry,
+    ServiceConfig,
+    SignatureLruCache,
+    SimulatedCameraStream,
+    StreamingInferenceService,
+    drive_streams,
+)
+from repro.serve.request import ClassificationRequest, PendingResult
+from repro.serve.shard import ShardGroup
+from repro.signatures import signature_key
+
+
+class FakeClock:
+    """Manually stepped monotonic clock for deterministic deadline tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _request(model: str = "m", bits: int = 16, fill: int = 0) -> ClassificationRequest:
+    signature = np.full(bits, fill % 2, dtype=np.uint8)
+    return ClassificationRequest(
+        signature=signature,
+        model=model,
+        stream_id="cam",
+        request_id=fill,
+        cache_key=bytes([fill % 256]),
+        enqueued_at=0.0,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Micro-batch scheduler
+# --------------------------------------------------------------------- #
+class TestMicroBatchScheduler:
+    def test_size_triggered_flush(self):
+        scheduler = MicroBatchScheduler(batch_size=3, max_delay_s=10.0, clock=FakeClock())
+        assert scheduler.submit(_request(fill=0)) is None
+        assert scheduler.submit(_request(fill=1)) is None
+        batch = scheduler.submit(_request(fill=2))
+        assert batch is not None
+        assert len(batch) == 3 and batch.flushed_by == "size"
+        assert batch.fill_fraction == 1.0
+        assert scheduler.pending_count() == 0
+
+    def test_deadline_triggered_flush(self):
+        clock = FakeClock()
+        scheduler = MicroBatchScheduler(batch_size=8, max_delay_s=0.5, clock=clock)
+        scheduler.submit(_request(fill=0))
+        assert scheduler.due() == []  # not yet due
+        clock.advance(0.4)
+        assert scheduler.due() == []
+        clock.advance(0.2)
+        (batch,) = scheduler.due()
+        assert batch.flushed_by == "deadline" and len(batch) == 1
+        assert batch.fill_fraction == pytest.approx(1 / 8)
+
+    def test_deadline_measured_from_oldest_request(self):
+        clock = FakeClock()
+        scheduler = MicroBatchScheduler(batch_size=8, max_delay_s=0.5, clock=clock)
+        scheduler.submit(_request(fill=0))
+        clock.advance(0.4)
+        scheduler.submit(_request(fill=1))  # newer request must not reset the clock
+        assert scheduler.next_deadline() == pytest.approx(0.5)
+        clock.advance(0.1)
+        (batch,) = scheduler.due()
+        assert len(batch) == 2
+
+    def test_per_model_lanes_are_independent(self):
+        clock = FakeClock()
+        scheduler = MicroBatchScheduler(batch_size=2, max_delay_s=1.0, clock=clock)
+        scheduler.submit(_request(model="a", fill=0))
+        batch = scheduler.submit(_request(model="b", fill=1))
+        assert batch is None  # two lanes, neither full
+        full = scheduler.submit(_request(model="a", fill=2))
+        assert full is not None and full.model == "a"
+        assert scheduler.pending_count("b") == 1
+
+    def test_drain_cuts_everything(self):
+        scheduler = MicroBatchScheduler(batch_size=8, max_delay_s=1.0, clock=FakeClock())
+        scheduler.submit(_request(model="a"))
+        scheduler.submit(_request(model="b"))
+        batches = scheduler.drain()
+        assert {batch.model for batch in batches} == {"a", "b"}
+        assert all(batch.flushed_by == "drain" for batch in batches)
+        assert scheduler.next_deadline() is None
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatchScheduler(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatchScheduler(max_delay_s=0.0)
+
+
+# --------------------------------------------------------------------- #
+# Signature LRU cache
+# --------------------------------------------------------------------- #
+class TestSignatureLruCache:
+    def _outcome(self, label: int) -> CachedOutcome:
+        return CachedOutcome(
+            label=label, neuron=0, distance=1.0, rejected=False, confidence=1.0
+        )
+
+    def test_hit_miss_accounting(self):
+        cache = SignatureLruCache(capacity=4)
+        assert cache.get("m", b"a") is None
+        cache.put("m", b"a", self._outcome(1))
+        assert cache.get("m", b"a").label == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = SignatureLruCache(capacity=2)
+        cache.put("m", b"a", self._outcome(1))
+        cache.put("m", b"b", self._outcome(2))
+        assert cache.get("m", b"a") is not None  # refresh "a"
+        cache.put("m", b"c", self._outcome(3))  # evicts "b", not "a"
+        assert cache.get("m", b"b") is None
+        assert cache.get("m", b"a") is not None
+        assert cache.get("m", b"c") is not None
+        assert cache.evictions == 1 and len(cache) == 2
+
+    def test_models_do_not_share_entries(self):
+        cache = SignatureLruCache(capacity=4)
+        cache.put("m1", b"a", self._outcome(1))
+        assert cache.get("m2", b"a") is None
+        cache.put("m2", b"a", self._outcome(2))
+        assert cache.get("m1", b"a").label == 1
+        assert cache.invalidate_model("m1") == 1
+        assert cache.get("m1", b"a") is None
+        assert cache.get("m2", b"a").label == 2
+
+    def test_batch_packing_rows_equal_cache_keys(self, cluster_data):
+        from repro.signatures import pack_signature_batch
+
+        X, _ = cluster_data
+        packed = pack_signature_batch(X[:16])
+        for row in range(16):
+            assert packed[row].tobytes() == signature_key(X[row])
+
+    def test_zero_capacity_disables(self):
+        cache = SignatureLruCache(capacity=0)
+        cache.put("m", b"a", self._outcome(1))
+        assert cache.get("m", b"a") is None and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SignatureLruCache(capacity=-1)
+
+
+# --------------------------------------------------------------------- #
+# Registry: load / route / evict
+# --------------------------------------------------------------------- #
+class TestModelRegistry:
+    @pytest.fixture()
+    def fitted(self, trained_bsom_classifier):
+        return trained_bsom_classifier
+
+    def test_register_and_lookup(self, fitted):
+        registry = ModelRegistry(n_shards=2)
+        registry.register("hall", fitted)
+        assert "hall" in registry and len(registry) == 1
+        assert registry.classifier("hall") is fitted
+        with pytest.raises(ConfigurationError):
+            registry.register("hall", fitted)  # duplicate name
+
+    def test_unfitted_classifier_rejected(self, cluster_data):
+        X, _ = cluster_data
+        registry = ModelRegistry()
+        with pytest.raises(DataError):
+            registry.register("raw", SomClassifier(BinarySom(8, X.shape[1], seed=0)))
+
+    def test_unknown_model_error_names_available(self, fitted):
+        registry = ModelRegistry()
+        registry.register("hall", fitted)
+        with pytest.raises(UnknownModelError) as excinfo:
+            registry.group("lobby")
+        assert excinfo.value.available == ("hall",)
+
+    def test_load_snapshot_roundtrip(self, fitted, cluster_data, tmp_path):
+        X, _ = cluster_data
+        path = save_model(fitted, tmp_path / "hall.npz")
+        registry = ModelRegistry()
+        loaded = registry.load("hall", path)
+        np.testing.assert_array_equal(loaded.predict(X), fitted.predict(X))
+
+    def test_load_rejects_bare_map(self, fitted, tmp_path):
+        path = save_model(fitted.som, tmp_path / "bare.npz")
+        with pytest.raises(DataError):
+            ModelRegistry().load("bare", path)
+
+    def test_round_robin_routing_spreads_batches(self, fitted):
+        registry = ModelRegistry(n_shards=2, policy="round_robin", queue_capacity=4)
+        registry.register("m", fitted)
+        # Shards not started: batches stay queued, exposing the routing.
+        from repro.serve.batching import MicroBatch
+
+        for index in range(4):
+            registry.submit(
+                MicroBatch("m", (_request(fill=index),), capacity=1, flushed_by="size")
+            )
+        depths = registry.queue_depths()
+        assert depths == {"m/0": 2, "m/1": 2}
+
+    def test_least_loaded_routing_picks_emptier_shard(self, fitted):
+        registry = ModelRegistry(n_shards=2, policy="least_loaded", queue_capacity=4)
+        registry.register("m", fitted)
+        group = registry.group("m")
+        from repro.serve.batching import MicroBatch
+
+        def batch(i):
+            return MicroBatch("m", (_request(fill=i),), capacity=1, flushed_by="size")
+
+        group.shards[0].try_submit(batch(0))
+        group.shards[0].try_submit(batch(1))
+        chosen = group.submit(batch(2))
+        assert chosen is group.shards[1]
+
+    def test_invalid_policy_rejected(self, fitted):
+        with pytest.raises(ConfigurationError):
+            ShardGroup("m", fitted, lambda *a: None, policy="random")
+
+    def test_evict_stops_and_forgets(self, fitted):
+        registry = ModelRegistry(n_shards=1)
+        registry.register("hall", fitted)
+        registry.start()
+        evicted = registry.evict("hall")
+        assert evicted is fitted
+        assert "hall" not in registry
+        with pytest.raises(UnknownModelError):
+            registry.evict("hall")
+
+
+# --------------------------------------------------------------------- #
+# Backpressure rejection paths
+# --------------------------------------------------------------------- #
+class TestBackpressure:
+    def test_shard_queues_saturate(self, trained_bsom_classifier):
+        group = ShardGroup(
+            "m",
+            trained_bsom_classifier,
+            lambda *a: None,
+            n_shards=2,
+            queue_capacity=1,
+        )
+        from repro.serve.batching import MicroBatch
+
+        def batch(i):
+            return MicroBatch("m", (_request(fill=i),), capacity=1, flushed_by="size")
+
+        group.submit(batch(0))
+        group.submit(batch(1))
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            group.submit(batch(2))  # both 1-deep queues full, workers stopped
+        assert excinfo.value.pending == 2 and excinfo.value.capacity == 2
+
+    def test_service_pending_budget(self, trained_bsom_classifier, cluster_data):
+        X, _ = cluster_data
+        config = ServiceConfig(
+            batch_size=64, max_delay_ms=60_000.0, max_pending=4, cache_capacity=0
+        )
+        service = StreamingInferenceService(config=config)
+        service.register_model("m", trained_bsom_classifier)
+        with service:
+            futures = [
+                service.submit(X[i], model="m", stream_id="cam") for i in range(4)
+            ]
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(X[4], model="m", stream_id="cam")
+            assert service.metrics.backpressure_rejections == 1
+            # Shedding load and flushing recovers the budget.
+            service.flush()
+            responses = [future.result(10.0) for future in futures]
+            assert len(responses) == 4
+            assert service.pending_requests == 0
+            assert service.submit(X[5], model="m").done() is False
+
+    def test_shard_failure_releases_pending_budget(self, cluster_data):
+        X, y = cluster_data
+
+        class ExplodingClassifier(SomClassifier):
+            def predict_batch(self, batch):
+                raise RuntimeError("boom")
+
+        exploding = ExplodingClassifier(BinarySom(16, X.shape[1], seed=0))
+        fitted = SomClassifier(BinarySom(16, X.shape[1], seed=0)).fit(
+            X, y, epochs=4, seed=1
+        )
+        exploding.labelling = fitted.labelling
+        config = ServiceConfig(batch_size=2, max_delay_ms=2.0, cache_capacity=0)
+        service = StreamingInferenceService(config=config)
+        service.register_model("m", exploding)
+        with service:
+            futures = [service.submit(X[i], model="m") for i in range(4)]
+            for future in futures:
+                with pytest.raises(RuntimeError):
+                    future.result(5.0)
+            # The failed batches must release their pending-budget slots.
+            deadline = time.monotonic() + 5.0
+            while service.pending_requests and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert service.pending_requests == 0
+
+    def test_submit_requires_running_service(self, trained_bsom_classifier, cluster_data):
+        X, _ = cluster_data
+        service = StreamingInferenceService()
+        service.register_model("m", trained_bsom_classifier)
+        with pytest.raises(ServiceError):
+            service.submit(X[0], model="m")
+
+    def test_wrong_signature_width_rejected(self, trained_bsom_classifier):
+        service = StreamingInferenceService()
+        service.register_model("m", trained_bsom_classifier)
+        with service:
+            with pytest.raises(ConfigurationError):
+                service.submit(np.zeros(8, dtype=np.uint8), model="m")
+
+
+# --------------------------------------------------------------------- #
+# End-to-end service behaviour
+# --------------------------------------------------------------------- #
+class TestServiceEndToEnd:
+    @pytest.fixture()
+    def service(self, trained_bsom_classifier):
+        config = ServiceConfig(
+            batch_size=8, max_delay_ms=2.0, n_shards=2, cache_capacity=512
+        )
+        service = StreamingInferenceService(config=config)
+        service.register_model("m", trained_bsom_classifier)
+        with service:
+            yield service
+
+    def test_matches_direct_prediction(self, service, trained_bsom_classifier, cluster_data):
+        X, _ = cluster_data
+        responses = service.classify("m", X[:50], stream_id="cam-0")
+        served = np.array([response.label for response in responses])
+        np.testing.assert_array_equal(served, trained_bsom_classifier.predict(X[:50]))
+        assert all(
+            response.stream_id == "cam-0" and response.model == "m"
+            for response in responses
+        )
+
+    def test_cache_hits_skip_the_som(self, service, cluster_data):
+        X, _ = cluster_data
+        first = service.classify("m", X[:1])[0]
+        again = service.classify("m", X[:1])[0]
+        assert not first.cached and again.cached
+        assert again.label == first.label and again.neuron == first.neuron
+        assert service.cache.hits >= 1
+
+    def test_unknown_model(self, service, cluster_data):
+        X, _ = cluster_data
+        with pytest.raises(UnknownModelError):
+            service.submit(X[0], model="nope")
+
+    def test_concurrent_streams_through_the_service(self, service, cluster_data):
+        X, y = cluster_data
+        # Pre-warm the cache with the whole pool so the stream traffic hits
+        # it deterministically (an in-flight repeat would otherwise race the
+        # completion of its first occurrence).
+        service.classify("m", X)
+        warm_hits = service.cache.hits
+        streams = [
+            SimulatedCameraStream(
+                f"cam-{i}", X, y, n_frames=40, repeat_probability=0.5, seed=i
+            )
+            for i in range(4)
+        ]
+        reports = drive_streams(service, streams, model="m")
+        assert len(reports) == 4
+        assert all(len(report.responses) == 40 for report in reports)
+        # The well-separated cluster data should be recognised near-perfectly.
+        assert all(report.accuracy > 0.9 for report in reports)
+        snapshot = service.metrics_snapshot()
+        assert snapshot.responses_total >= 160
+        # Every stream request is a pool signature, already cached.
+        assert service.cache.hits - warm_hits == 160
+        assert all(response.cached for report in reports for response in report.responses)
+        assert snapshot.batches_total > 0
+        assert 0.0 < snapshot.mean_batch_fill <= 1.0
+
+    def test_metrics_percentiles_monotone(self, service, cluster_data):
+        X, _ = cluster_data
+        service.classify("m", X[:64])
+        snapshot = service.metrics_snapshot()
+        assert 0.0 <= snapshot.latency_p50_ms <= snapshot.latency_p95_ms
+        assert snapshot.latency_p95_ms <= snapshot.latency_p99_ms
+
+    def test_multi_model_routing(self, service, trained_csom_classifier, cluster_data):
+        X, _ = cluster_data
+        service.register_model("baseline", trained_csom_classifier)
+        bsom = service.classify("m", X[:10])
+        csom = service.classify("baseline", X[:10])
+        np.testing.assert_array_equal(
+            [r.label for r in csom], trained_csom_classifier.predict(X[:10])
+        )
+        assert [r.label for r in bsom] is not None
+        evicted = service.evict_model("baseline")
+        assert evicted is trained_csom_classifier
+        with pytest.raises(UnknownModelError):
+            service.classify("baseline", X[:1])
+
+
+# --------------------------------------------------------------------- #
+# Pipeline integration
+# --------------------------------------------------------------------- #
+class TestPipelineAttachment:
+    def test_recognition_system_served_frames_match_local(self, cluster_data):
+        from tests.test_pipeline import _signatures_from_truth, _two_actor_scene
+        from repro.pipeline import RecognitionSystem, RecognitionSystemConfig
+
+        scene = _two_actor_scene(seed=1)
+        X, y = _signatures_from_truth(scene, 40)
+        classifier = SomClassifier(BinarySom(12, 768, seed=0)).fit(
+            X, y, epochs=8, seed=1
+        )
+
+        def build_system():
+            system = RecognitionSystem(
+                classifier, RecognitionSystemConfig(min_blob_area=120)
+            )
+            system.initialise_background(_two_actor_scene(seed=2).background)
+            return system
+
+        local = build_system()
+        served = build_system()
+        service = StreamingInferenceService(
+            config=ServiceConfig(batch_size=4, max_delay_ms=2.0)
+        )
+        service.register_model("hall", classifier)
+        with service:
+            served.attach_service(service, "hall", stream_id="cam-7")
+            assert served.service_attached
+            frames = list(_two_actor_scene(seed=2).frames(12))
+            local_obs = local.process_sequence(frames)
+            served_obs = served.process_sequence(frames)
+        assert [o.label for o in served_obs] == [o.label for o in local_obs]
+        assert [o.track_id for o in served_obs] == [o.track_id for o in local_obs]
+        assert service.metrics.responses_total == len(served_obs)
+        served.detach_service()
+        assert not served.service_attached
+
+    def test_attach_unknown_model_fails_fast(self, trained_bsom_classifier):
+        from repro.pipeline import RecognitionSystem
+
+        system = RecognitionSystem(trained_bsom_classifier)
+        service = StreamingInferenceService()
+        with pytest.raises(UnknownModelError):
+            system.attach_service(service, "ghost")
+
+
+class TestPendingResult:
+    def test_timeout_raises_service_error(self):
+        pending = PendingResult()
+        with pytest.raises(ServiceError):
+            pending.result(timeout=0.01)
+
+    def test_exception_propagates(self):
+        pending = PendingResult()
+        pending.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError):
+            pending.result(0.1)
