@@ -16,21 +16,29 @@ centralised here.)
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Make this directory importable under pytest's importlib import mode (the
+# repo-configured mode; prepend did it implicitly), then pull in the shared
+# constants.  Importing bench_constants also pins the BLAS/OpenMP thread
+# pools to 1 -- it must happen here, before numpy spins them up, or the
+# BENCH numbers scale with the host's core count.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_constants import (  # noqa: E402,F401  (re-exported for fixtures)
+    BENCH_DATASET_SCALE,
+    BENCH_DATASET_SEED,
+    BENCH_NEURONS,
+    BENCH_REPETITIONS,
+    BENCH_SOM_SEED,
+    BENCH_STREAM_SEED,
+    BENCH_TRAIN_SEED,
+)
+
 import pytest
 
 from repro.datasets import make_surveillance_dataset
-
-#: Reduced-protocol constants shared by the accuracy benchmarks.
-BENCH_DATASET_SCALE = 0.1
-BENCH_REPETITIONS = 3
-BENCH_NEURONS = 40
-
-#: Explicit seeds: dataset construction, map weight initialisation, training
-#: presentation order, and the serving-layer load generator, respectively.
-BENCH_DATASET_SEED = 2010
-BENCH_SOM_SEED = 0
-BENCH_TRAIN_SEED = 1
-BENCH_STREAM_SEED = 7
 
 
 @pytest.fixture(scope="session")

@@ -19,6 +19,13 @@ echo "=== tier-1: pytest (tests/ + benchmarks/) ==="
 python -m pytest -x -q "$@"
 
 echo
+echo "=== backend parity smoke + perf-regression guard ==="
+# Bit-exact agreement of all distance backends with the naive oracle, then
+# the packed uint64 kernel re-timed on the 256-neuron/1024-batch cell
+# against the baseline committed in BENCH_distance.json (fail if >2x slower).
+python scripts/check_backends.py
+
+echo
 echo "=== smoke: streaming service demo (4 cameras, 40 frames each) ==="
 python examples/streaming_service.py --streams 4 --frames 40
 

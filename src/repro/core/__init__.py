@@ -6,6 +6,9 @@ conventional Kohonen SOM (cSOM) it is benchmarked against in Table I:
 
 * :mod:`repro.core.tristate` -- the {0, 1, #} weight representation,
 * :mod:`repro.core.distance` -- Hamming distances with don't-care masking,
+* :mod:`repro.core.backends` -- pluggable distance kernels (float32 GEMM,
+  packed uint64 popcount, naive oracle) with version-invalidated operand
+  caching,
 * :mod:`repro.core.topology` -- neuron topologies and the shrinking
   neighbourhood schedule of section V-D,
 * :mod:`repro.core.bsom` -- the tri-state training rules,
@@ -29,6 +32,16 @@ from repro.core.distance import (
     masked_hamming_distance,
     batch_masked_hamming,
     batch_binary_hamming,
+)
+from repro.core.backends import (
+    DistanceBackend,
+    GemmBackend,
+    HybridBackend,
+    NaiveBackend,
+    PackedBackend,
+    PreparedOperandCache,
+    calibrate_backend,
+    resolve_backend,
 )
 from repro.core.topology import (
     Topology,
@@ -61,6 +74,14 @@ __all__ = [
     "masked_hamming_distance",
     "batch_masked_hamming",
     "batch_binary_hamming",
+    "DistanceBackend",
+    "GemmBackend",
+    "HybridBackend",
+    "PackedBackend",
+    "NaiveBackend",
+    "PreparedOperandCache",
+    "resolve_backend",
+    "calibrate_backend",
     "Topology",
     "LinearTopology",
     "RingTopology",

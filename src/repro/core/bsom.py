@@ -58,7 +58,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._rng import SeedLike, as_generator
-from repro.core.distance import batch_masked_hamming, pairwise_masked_hamming
+from repro.core.backends import (
+    BackendSpec,
+    DistanceBackend,
+    PackedBackend,
+    PreparedOperandCache,
+    resolve_backend,
+)
 from repro.core.som import SelfOrganisingMap, validate_binary_matrix
 from repro.core.topology import (
     LinearTopology,
@@ -158,6 +164,12 @@ class BinarySom(SelfOrganisingMap):
         weight-initialisation block).
     seed:
         Seed or generator used for weight initialisation.
+    backend:
+        Distance backend: a name (``"gemm"``, ``"packed"``, ``"naive"``,
+        ``"auto"``), a :class:`~repro.core.backends.DistanceBackend`
+        instance, or ``None`` to consult ``$REPRO_DISTANCE_BACKEND`` and
+        fall back to the ``"auto"`` map-size heuristic.  All backends are
+        bit-exact, so the choice affects speed only.
 
     Examples
     --------
@@ -180,6 +192,7 @@ class BinarySom(SelfOrganisingMap):
         update_rule: BsomUpdateRule | None = None,
         dont_care_probability: float = 0.0,
         seed: SeedLike = None,
+        backend: BackendSpec = None,
     ):
         super().__init__(n_neurons, n_bits)
         self.topology = topology or LinearTopology(n_neurons)
@@ -202,6 +215,12 @@ class BinarySom(SelfOrganisingMap):
         # weight initialisation).
         self._update_rng = as_generator(rng.integers(0, 2**63 - 1))
         self._neighbourhood_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._backend = resolve_backend(backend, n_neurons=n_neurons, n_bits=n_bits)
+        # Fallback packed kernel for pre-packed (uint64 word) queries from
+        # the serving layer when the main backend cannot take them
+        # directly; created lazily, shares the version-keyed operand cache.
+        self._fallback_packed: PackedBackend | None = None
+        self._operand_cache = PreparedOperandCache()
 
     # ------------------------------------------------------------------ #
     # Weights
@@ -221,17 +240,74 @@ class BinarySom(SelfOrganisingMap):
                 f"{self.n_neurons} neurons of {self.n_bits} bits"
             )
         self._weights = wrapped.values.copy()
+        self._bump_weights_version()
+        self._operand_cache.invalidate()
+
+    # ------------------------------------------------------------------ #
+    # Distance backend
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> DistanceBackend:
+        """The distance backend answering this map's queries."""
+        return self._backend
+
+    def set_backend(self, backend: BackendSpec) -> None:
+        """Switch distance backends (bit-exact; affects speed only).
+
+        Prepared operands of the previous backend stay cached -- they are
+        version-keyed, so switching back reuses them as long as the weights
+        have not changed.
+        """
+        self._backend = resolve_backend(
+            backend, n_neurons=self.n_neurons, n_bits=self.n_bits
+        )
+
+    def _operands(self, backend: DistanceBackend | None = None):
+        """Version-checked prepared operands of ``backend`` (default: current)."""
+        backend = backend or self._backend
+        return self._operand_cache.operands(
+            backend, self._weights, self._weights_version
+        )
+
+    def _note_weights_changed(self, rows: np.ndarray | None) -> None:
+        """Bump the weights version; keep warm operands warm when possible."""
+        old_version = self._weights_version
+        new_version = self._bump_weights_version()
+        if rows is None:
+            self._operand_cache.invalidate()
+        else:
+            self._operand_cache.note_rows_changed(
+                self._weights, rows, old_version, new_version
+            )
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def distances(self, x: np.ndarray) -> np.ndarray:
         x = self._validate_input(x)
-        return batch_masked_hamming(self._weights, x)
+        return self._backend.batch_one(self._operands(), x)
 
-    def distance_matrix(self, X: np.ndarray) -> np.ndarray:
-        X = validate_binary_matrix(X, self.n_bits)
-        return pairwise_masked_hamming(self._weights, X)
+    def distance_matrix(self, X: np.ndarray, *, validate: bool = True) -> np.ndarray:
+        X = validate_binary_matrix(X, self.n_bits, validate=validate)
+        return self._backend.pairwise(self._operands(), X)
+
+    def distance_matrix_packed(self, input_words: np.ndarray) -> np.ndarray:
+        """Distances for signatures already packed into ``uint64`` words.
+
+        The serving layer packs each signature once at ``submit`` time
+        (producing the cache key and these words); this entry point scores
+        the packed batch against the cached bit-planes without ever
+        re-materialising the unpacked bits -- the zero-copy hot path.
+        Runs on the configured backend when it accepts packed words
+        (packed, hybrid) and otherwise on a dedicated packed kernel; the
+        results are bit-identical either way.
+        """
+        backend = self._backend
+        if not hasattr(backend, "pairwise_packed"):
+            if self._fallback_packed is None:
+                self._fallback_packed = PackedBackend()
+            backend = self._fallback_packed
+        return backend.pairwise_packed(self._operands(backend), np.asarray(input_words))
 
     # ------------------------------------------------------------------ #
     # Training
@@ -253,8 +329,11 @@ class BinarySom(SelfOrganisingMap):
         return self._train_one(x, iteration, total_iterations)
 
     def _train_one(self, x: np.ndarray, iteration: int, total_iterations: int) -> int:
-        mismatch = (self._weights != DONT_CARE) & (self._weights != x[np.newaxis, :])
-        distances = np.count_nonzero(mismatch, axis=1)
+        # Winner search against the cached backend operands: the per-step
+        # weight update below migrates the cache (patching only the touched
+        # rows), so consecutive training steps never re-derive the packed
+        # planes / GEMM operands from the full weight matrix.
+        distances = self._backend.batch_one(self._operands(), x)
         winner = int(np.argmin(distances))
         radius = self.schedule.radius(iteration, total_iterations)
         members = self._neighbourhood(winner, radius)
@@ -285,6 +364,7 @@ class BinarySom(SelfOrganisingMap):
             else:
                 _apply_commit_rule(neighbour_rows, x)
             self._weights[neighbours] = neighbour_rows
+        self._note_weights_changed(members)
         return winner
 
     # ------------------------------------------------------------------ #

@@ -21,6 +21,7 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro._rng import SeedLike
+from repro.core.backends import BackendSpec, unpack_words_to_bits
 from repro.core.labelling import LabelledMap, NodeLabeller
 from repro.core.novelty import calibrate_rejection_threshold
 from repro.core.som import SelfOrganisingMap, validate_binary_matrix
@@ -117,6 +118,12 @@ class SomClassifier:
         accuracy protocol of Table I where all test objects are known).
     rejection_margin:
         Multiplicative margin on the calibrated threshold.
+    backend:
+        Distance-backend selection forwarded to the SOM when it supports
+        pluggable backends (the bSOM does; the real-valued cSOM computes
+        Euclidean distances and ignores it).  A name (``"gemm"``,
+        ``"packed"``, ``"naive"``, ``"auto"``) or a
+        :class:`~repro.core.backends.DistanceBackend` instance.
 
     Examples
     --------
@@ -137,12 +144,15 @@ class SomClassifier:
         *,
         rejection_percentile: Optional[float] = None,
         rejection_margin: float = 1.0,
+        backend: BackendSpec = None,
     ):
         if rejection_percentile is not None and not 0.0 < rejection_percentile <= 100.0:
             raise ConfigurationError(
                 f"rejection_percentile must lie in (0, 100], got {rejection_percentile}"
             )
         self.som = som
+        if backend is not None and hasattr(som, "set_backend"):
+            som.set_backend(backend)
         self.rejection_percentile = rejection_percentile
         self.rejection_margin = float(rejection_margin)
         self.labelling: Optional[LabelledMap] = None
@@ -232,21 +242,50 @@ class SomClassifier:
             label=label, neuron=neuron, distance=distance, rejected=rejected
         )
 
-    def predict_batch(self, X: np.ndarray) -> BatchPrediction:
+    def predict_batch(self, X: np.ndarray, *, validate: bool = True) -> BatchPrediction:
         """Classify every row of ``X`` in one vectorised pass.
 
-        A single ``distance_matrix`` call (``pairwise_masked_hamming`` for
-        the bSOM) scores the whole batch against every neuron at once; the
-        winner, rejection and label lookups are then pure array operations.
-        Semantically identical to calling :meth:`predict_one` per row --
-        the regression tests assert exact agreement, including rejection
-        and unlabelled-winner cases.
+        A single ``distance_matrix`` call (one distance-backend kernel
+        invocation for the bSOM) scores the whole batch against every
+        neuron at once; the winner, rejection and label lookups are then
+        pure array operations.  Semantically identical to calling
+        :meth:`predict_one` per row -- the regression tests assert exact
+        agreement, including rejection and unlabelled-winner cases.
+
+        ``validate=False`` skips the zeros-and-ones scan of ``X`` for
+        trusted internal callers (the serve shard validates each signature
+        once at ``submit`` time); shape and width are still checked.
         """
+        self._require_fitted()
+        X = validate_binary_matrix(X, self.som.n_bits, validate=validate)
+        # X is validated (or trusted) here, so the map may skip re-scanning.
+        distances = self.som.distance_matrix(X, validate=False)
+        return self._predict_from_distances(distances)
+
+    def predict_batch_packed(self, input_words: np.ndarray) -> BatchPrediction:
+        """Classify signatures already packed into ``uint64`` words.
+
+        The zero-copy serving path: the service packs each signature once
+        (deriving both the cache key and these words), the shard stacks the
+        word rows, and the bSOM scores them straight against its cached
+        packed bit-planes -- no per-request re-packing or re-validation.
+        Maps without a packed query path (the cSOM) transparently unpack
+        and fall back to :meth:`predict_batch`.
+        """
+        self._require_fitted()
+        input_words = np.atleast_2d(np.asarray(input_words, dtype=np.uint64))
+        packed_query = getattr(self.som, "distance_matrix_packed", None)
+        if packed_query is None:
+            return self.predict_batch(
+                unpack_words_to_bits(input_words, self.som.n_bits), validate=False
+            )
+        return self._predict_from_distances(packed_query(input_words))
+
+    def _predict_from_distances(self, distances: np.ndarray) -> BatchPrediction:
+        """Winner/rejection/label lookups shared by the batch entry points."""
         labelling = self._require_fitted()
-        X = validate_binary_matrix(X, self.som.n_bits)
-        distances = self.som.distance_matrix(X)
         neurons = np.argmin(distances, axis=1).astype(np.int64)
-        best = distances[np.arange(X.shape[0]), neurons].astype(np.float64)
+        best = distances[np.arange(distances.shape[0]), neurons].astype(np.float64)
         labels = labelling.labels_for(neurons)
         rejected = labels == LabelledMap.UNLABELLED
         if self.rejection_threshold is not None:

@@ -144,6 +144,7 @@ class KohonenSom(SelfOrganisingMap):
                 f"{self.n_neurons} neurons of {self.n_bits} bits"
             )
         self._weights = weights.copy()
+        self._bump_weights_version()
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -153,8 +154,8 @@ class KohonenSom(SelfOrganisingMap):
         diff = self._weights - x[np.newaxis, :]
         return np.einsum("ij,ij->i", diff, diff)
 
-    def distance_matrix(self, X: np.ndarray) -> np.ndarray:
-        X = validate_binary_matrix(X, self.n_bits).astype(np.float64)
+    def distance_matrix(self, X: np.ndarray, *, validate: bool = True) -> np.ndarray:
+        X = validate_binary_matrix(X, self.n_bits, validate=validate).astype(np.float64)
         # Squared Euclidean distance via the expansion |w|^2 - 2 x.w + |x|^2.
         w_norms = np.einsum("ij,ij->i", self._weights, self._weights)
         x_norms = np.einsum("ij,ij->i", X, X)
@@ -188,6 +189,7 @@ class KohonenSom(SelfOrganisingMap):
         self._weights[rows] += factors[:, np.newaxis] * (
             x_real[np.newaxis, :] - self._weights[rows]
         )
+        self._bump_weights_version()
         return winner
 
     # ------------------------------------------------------------------ #

@@ -54,7 +54,9 @@ class TrainingHistory:
         self.neighbourhood_radii.append(int(radius))
 
 
-def validate_binary_matrix(X: np.ndarray, n_bits: int | None = None) -> np.ndarray:
+def validate_binary_matrix(
+    X: np.ndarray, n_bits: int | None = None, *, validate: bool = True
+) -> np.ndarray:
     """Validate a 2-D binary training matrix and return it as ``int8``.
 
     Parameters
@@ -63,6 +65,13 @@ def validate_binary_matrix(X: np.ndarray, n_bits: int | None = None) -> np.ndarr
         ``(n_samples, n_bits)`` array of zeros and ones.
     n_bits:
         When given, the expected number of columns.
+    validate:
+        When ``False``, skip the O(n log n) zeros-and-ones value check
+        (``np.unique``/``np.isin``) and only normalise shape and dtype.
+        Trusted internal callers -- ``predict_batch`` re-scoring data it
+        already validated, the serve shard scoring signatures validated at
+        ``submit`` time -- use this fast path; API boundaries keep the
+        default.
     """
     X = np.asarray(X)
     if X.ndim == 1:
@@ -71,7 +80,7 @@ def validate_binary_matrix(X: np.ndarray, n_bits: int | None = None) -> np.ndarr
         raise DataError(f"training data must be a 2-D matrix, got shape {X.shape}")
     if X.shape[0] == 0 or X.shape[1] == 0:
         raise DataError(f"training data must be non-empty, got shape {X.shape}")
-    if not np.all(np.isin(np.unique(X), (0, 1))):
+    if validate and not np.all(np.isin(np.unique(X), (0, 1))):
         raise DataError("training data must contain only zeros and ones")
     if n_bits is not None and X.shape[1] != n_bits:
         raise DimensionMismatchError(n_bits, X.shape[1], "training data")
@@ -90,6 +99,7 @@ class SelfOrganisingMap(ABC):
         self.n_bits = int(n_bits)
         self.history = TrainingHistory()
         self._trained_epochs = 0
+        self._weights_version = 0
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -99,8 +109,12 @@ class SelfOrganisingMap(ABC):
         """Dissimilarity of every neuron to the binary input ``x``."""
 
     @abstractmethod
-    def distance_matrix(self, X: np.ndarray) -> np.ndarray:
-        """``(n_samples, n_neurons)`` dissimilarities for a whole dataset."""
+    def distance_matrix(self, X: np.ndarray, *, validate: bool = True) -> np.ndarray:
+        """``(n_samples, n_neurons)`` dissimilarities for a whole dataset.
+
+        ``validate=False`` skips the per-call zeros-and-ones scan for
+        trusted callers that validated ``X`` at the API boundary already.
+        """
 
     def winner(self, x: np.ndarray) -> int:
         """Index of the best-matching unit for ``x`` (ties -> lowest index).
@@ -180,6 +194,26 @@ class SelfOrganisingMap(ABC):
     def trained_epochs(self) -> int:
         """Total number of epochs this map has been trained for."""
         return self._trained_epochs
+
+    # ------------------------------------------------------------------ #
+    # Weights versioning
+    # ------------------------------------------------------------------ #
+    @property
+    def weights_version(self) -> int:
+        """Monotonic counter bumped on every weight update.
+
+        Distance backends cache their prepared operands (packed bit-planes,
+        GEMM matrices) keyed on this counter, so the cache invalidates
+        exactly when training or ``set_weights`` touches the weights and on
+        nothing else.  Mutating the weight storage behind the map's back
+        (rather than through ``set_weights``/``partial_fit``/``fit``)
+        bypasses the counter and is unsupported.
+        """
+        return self._weights_version
+
+    def _bump_weights_version(self) -> int:
+        self._weights_version += 1
+        return self._weights_version
 
     # ------------------------------------------------------------------ #
     # Utilities

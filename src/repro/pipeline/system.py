@@ -69,6 +69,10 @@ class RecognitionSystemConfig:
     vote_window:
         Number of recent per-frame identity votes kept per track for the
         majority decision.
+    distance_backend:
+        Distance-backend selection applied to the classifier's SOM when it
+        supports pluggable backends (``"gemm"``, ``"packed"``, ``"naive"``,
+        ``"auto"``); ``None`` keeps the SOM's current backend.
     """
 
     difference_threshold: float = 28.0
@@ -76,6 +80,7 @@ class RecognitionSystemConfig:
     min_blob_area: int = 150
     bins_per_channel: int = 256
     vote_window: int = 15
+    distance_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.min_blob_area < 0:
@@ -150,6 +155,10 @@ class RecognitionSystem:
             )
         self.classifier = classifier
         self.config = config or RecognitionSystemConfig()
+        if self.config.distance_backend is not None and hasattr(
+            classifier.som, "set_backend"
+        ):
+            classifier.som.set_backend(self.config.distance_backend)
         self.strategy = strategy or MeanThreshold()
         self.subtractor = BackgroundSubtractor(
             threshold=self.config.difference_threshold

@@ -4,8 +4,12 @@ A surveillance feed is massively repetitive: the same person produces the
 same (or bit-identical, after mean-threshold binarisation) 768-bit signature
 for many consecutive frames.  Since the bSOM is deterministic at inference
 time, a signature's classification can be memoised outright -- keyed on the
-packed 96-byte form from :func:`repro.signatures.packing.signature_key`
-plus the model name, so two models never share entries.
+raw bytes of the packed ``uint64`` words the distance backend consumes
+(:func:`repro.signatures.packing.packed_signature_words`; 96 bytes for a
+768-bit signature) plus the model name, so two models never share entries.
+The service packs each signature exactly once at submit time and reuses the
+words for both this key and the shard's popcount kernel -- the cache never
+re-packs per lookup.
 
 The cache stores the *outcome* (label, neuron, distance, rejection,
 confidence), not the response object, because latency and stream identity

@@ -113,6 +113,18 @@ class ServiceMetrics:
             else:
                 self.cache_misses += 1
 
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Live cache-hit-ratio gauge: hits / lookups so far (0.0 unused).
+
+        The same quantity as :attr:`MetricsSnapshot.cache_hit_rate`, but
+        readable without freezing a full snapshot -- dashboards and the
+        benchmark harness poll it per tick.
+        """
+        with self._lock:
+            lookups = self.cache_hits + self.cache_misses
+            return self.cache_hits / lookups if lookups else 0.0
+
     def record_backpressure(self, count: int = 1) -> None:
         """Count refused requests (a shed batch refuses all its members)."""
         with self._lock:

@@ -40,6 +40,10 @@ class ModelRegistry:
         Shard routing policy: ``"round_robin"`` or ``"least_loaded"``.
     queue_capacity:
         Per-shard bounded queue size (the backpressure knob).
+    backend:
+        Distance-backend selection applied to each registered model's SOM
+        (when it supports pluggable backends); ``None`` keeps whatever the
+        model was built with.
     """
 
     def __init__(
@@ -48,12 +52,14 @@ class ModelRegistry:
         n_shards: int = 2,
         policy: str = "round_robin",
         queue_capacity: int = 8,
+        backend=None,
     ):
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
         self.n_shards = int(n_shards)
         self.policy = policy
         self.queue_capacity = int(queue_capacity)
+        self.backend = backend
         self._lock = threading.Lock()
         self._groups: dict[str, ShardGroup] = {}
         self._classifiers: dict[str, SomClassifier] = {}
@@ -123,6 +129,7 @@ class ModelRegistry:
                 n_shards=self.n_shards,
                 policy=self.policy,
                 queue_capacity=self.queue_capacity,
+                backend=self.backend,
             )
             self._groups[name] = group
             self._classifiers[name] = classifier

@@ -104,7 +104,15 @@ class PendingResult:
 
 @dataclass
 class ClassificationRequest:
-    """One signature queued for micro-batched classification."""
+    """One signature queued for micro-batched classification.
+
+    ``packed`` carries the signature as ``uint64`` words
+    (:func:`repro.signatures.packing.packed_signature_words`), produced
+    once at submit time together with ``cache_key`` (the words' raw
+    bytes).  Shards score an all-packed batch straight against the bSOM's
+    cached bit-planes without re-packing or re-validating; ``signature``
+    is retained for models without a packed query path.
+    """
 
     signature: np.ndarray
     model: str
@@ -112,6 +120,7 @@ class ClassificationRequest:
     request_id: int
     cache_key: bytes
     enqueued_at: float
+    packed: Optional[np.ndarray] = None
     pending: PendingResult = field(default_factory=PendingResult)
 
 

@@ -42,7 +42,7 @@ from repro.serve.request import (
     resolve_requests,
 )
 from repro.serve.shard import WorkerShard
-from repro.signatures.packing import signature_key
+from repro.signatures.packing import packed_signature_words
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,11 @@ class ServiceConfig:
     max_pending:
         Service-wide cap on admitted-but-unresolved requests; submissions
         beyond it are refused with :class:`ServiceOverloadedError`.
+    distance_backend:
+        Distance-backend selection applied to every registered model's SOM
+        (``"gemm"``, ``"packed"``, ``"naive"``, ``"auto"``, or a backend
+        instance); ``None`` keeps each model's own choice.  Only used when
+        the service builds its own registry.
     """
 
     batch_size: int = 32
@@ -76,6 +81,7 @@ class ServiceConfig:
     routing_policy: str = "round_robin"
     shard_queue_capacity: int = 8
     max_pending: int = 1024
+    distance_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -119,6 +125,7 @@ class StreamingInferenceService:
             n_shards=self.config.n_shards,
             policy=self.config.routing_policy,
             queue_capacity=self.config.shard_queue_capacity,
+            backend=self.config.distance_backend,
         )
         self.registry.bind_completion(self._on_batch_done, self._on_batch_failed)
         self._clock = clock
@@ -221,7 +228,11 @@ class StreamingInferenceService:
             raise ServiceError("the service is not running; call start() first")
         classifier = self.registry.classifier(model)  # raises UnknownModelError
         signature = np.asarray(signature)
-        key = signature_key(signature)  # validates the bit vector
+        # Validate and pack exactly once: the uint64 words are both the
+        # cache key (their raw bytes) and the shard's distance-kernel
+        # input, so the signature is never re-packed downstream.
+        packed = packed_signature_words(signature)  # validates the bit vector
+        key = packed.tobytes()
         if signature.size != classifier.som.n_bits:
             raise ConfigurationError(
                 f"model {model!r} expects {classifier.som.n_bits}-bit signatures, "
@@ -275,6 +286,7 @@ class StreamingInferenceService:
             request_id=request_id,
             cache_key=key,
             enqueued_at=now,
+            packed=packed,
         )
         with self._state_lock:
             if not self._running:

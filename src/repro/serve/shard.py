@@ -143,8 +143,7 @@ class WorkerShard:
             with self._lock:
                 self._in_flight = 1
             try:
-                signatures = np.vstack([r.signature for r in batch.requests])
-                prediction = self.classifier.predict_batch(signatures)
+                prediction = self._classify(batch)
             except BaseException as error:  # deliver, never kill the worker
                 for request in batch.requests:
                     request.pending.set_exception(error)
@@ -166,6 +165,22 @@ class WorkerShard:
                 with self._lock:
                     self._in_flight = 0
 
+    def _classify(self, batch: MicroBatch) -> BatchPrediction:
+        """Score one micro-batch, preferring the zero-copy packed path.
+
+        When every request carries its submit-time ``uint64`` words, the
+        stacked words go straight to ``predict_batch_packed`` and the bSOM
+        scores them against its cached bit-planes -- no re-packing, no
+        re-validation.  Mixed or unpacked batches fall back to stacking the
+        raw signatures; those were validated at ``submit`` time too, so the
+        zeros-and-ones scan is skipped either way.
+        """
+        rows = [request.packed for request in batch.requests]
+        if rows and all(row is not None for row in rows):
+            return self.classifier.predict_batch_packed(np.vstack(rows))
+        signatures = np.vstack([request.signature for request in batch.requests])
+        return self.classifier.predict_batch(signatures, validate=False)
+
 
 class ShardGroup:
     """The routed set of worker shards behind one registered model.
@@ -185,6 +200,13 @@ class ShardGroup:
         ``"round_robin"`` or ``"least_loaded"``.
     queue_capacity:
         Per-shard queue bound.
+    backend:
+        Distance-backend selection applied to the classifier's SOM when it
+        supports pluggable backends (name or
+        :class:`~repro.core.backends.DistanceBackend`); ``None`` keeps the
+        SOM's current backend.  Applied once here -- the shards share the
+        classifier, so they automatically share the SOM's cached prepared
+        operands as well.
     """
 
     def __init__(
@@ -197,9 +219,12 @@ class ShardGroup:
         n_shards: int = 2,
         policy: str = "round_robin",
         queue_capacity: int = 8,
+        backend=None,
     ):
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
+        if backend is not None and hasattr(classifier.som, "set_backend"):
+            classifier.som.set_backend(backend)
         if policy not in _ROUTING_POLICIES:
             raise ConfigurationError(
                 f"policy must be one of {_ROUTING_POLICIES}, got {policy!r}"

@@ -41,6 +41,7 @@ from repro.signatures.packing import (
     pack_bits,
     unpack_bits,
     pack_signature_batch,
+    packed_signature_words,
     signature_key,
     signature_to_image,
     image_to_signature,
@@ -66,6 +67,7 @@ __all__ = [
     "pack_bits",
     "unpack_bits",
     "pack_signature_batch",
+    "packed_signature_words",
     "signature_key",
     "signature_to_image",
     "image_to_signature",

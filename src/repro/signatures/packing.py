@@ -13,31 +13,35 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backends import pack_bits_to_words
 from repro.errors import DataError
 
 #: Default image shape the FPGA design streams signatures as (width x height).
 SIGNATURE_IMAGE_SHAPE = (24, 32)  # rows, columns -> 768 bits
 
 
-def _validate_bits(bits: np.ndarray) -> np.ndarray:
+def _validate_bits(bits: np.ndarray, *, validate: bool = True) -> np.ndarray:
     bits = np.asarray(bits)
     if bits.ndim != 1:
         raise DataError(f"expected a one-dimensional bit vector, got shape {bits.shape}")
     if bits.size == 0:
         raise DataError("bit vector must not be empty")
-    values = np.unique(bits)
-    if not np.all(np.isin(values, (0, 1))):
-        raise DataError("bit vector must contain only zeros and ones")
+    if validate:
+        values = np.unique(bits)
+        if not np.all(np.isin(values, (0, 1))):
+            raise DataError("bit vector must contain only zeros and ones")
     return bits.astype(np.uint8)
 
 
-def pack_bits(bits: np.ndarray) -> np.ndarray:
+def pack_bits(bits: np.ndarray, *, validate: bool = True) -> np.ndarray:
     """Pack a vector of zeros and ones into bytes (big-endian within a byte).
 
     The packed form is what the BlockRAM model in :mod:`repro.hw` stores:
-    768 bits fit in 96 bytes per neuron.
+    768 bits fit in 96 bytes per neuron.  ``validate=False`` skips the
+    O(n log n) zeros-and-ones scan for callers that validated the bits at
+    the API boundary already.
     """
-    bits = _validate_bits(bits)
+    bits = _validate_bits(bits, validate=validate)
     return np.packbits(bits)
 
 
@@ -54,7 +58,7 @@ def unpack_bits(packed: np.ndarray, length: int) -> np.ndarray:
     return bits[:length].astype(np.uint8)
 
 
-def pack_signature_batch(bits: np.ndarray) -> np.ndarray:
+def pack_signature_batch(bits: np.ndarray, *, validate: bool = True) -> np.ndarray:
     """Pack a ``(n_samples, n_bits)`` binary matrix row-wise into bytes.
 
     The batched counterpart of :func:`pack_bits`: one ``packbits`` call
@@ -69,12 +73,12 @@ def pack_signature_batch(bits: np.ndarray) -> np.ndarray:
         raise DataError(f"expected a 2-D bit matrix, got shape {bits.shape}")
     if bits.size == 0:
         raise DataError("bit matrix must not be empty")
-    if not np.all(np.isin(np.unique(bits), (0, 1))):
+    if validate and not np.all(np.isin(np.unique(bits), (0, 1))):
         raise DataError("bit matrix must contain only zeros and ones")
     return np.packbits(bits.astype(np.uint8), axis=1)
 
 
-def signature_key(bits: np.ndarray) -> bytes:
+def signature_key(bits: np.ndarray, *, validate: bool = True) -> bytes:
     """Compact, hashable identity of one signature: its packed bytes.
 
     Two signatures share a key exactly when they are bit-for-bit equal, so
@@ -82,8 +86,28 @@ def signature_key(bits: np.ndarray) -> bytes:
     packed 96-byte form of a 768-bit signature as the cache key -- repeated
     silhouettes of the same object hash to the same entry and skip the SOM
     entirely.
+
+    The serving layer itself now derives its keys from the padded
+    ``uint64`` words of :func:`repro.core.backends.pack_bits_to_words`
+    (packing once for both the cache key and the distance kernel); both
+    forms are injective over equal-length signatures, and for 768-bit
+    signatures (96 bytes = 12 words exactly) they are byte-identical.
     """
-    return pack_bits(bits).tobytes()
+    return pack_bits(bits, validate=validate).tobytes()
+
+
+def packed_signature_words(bits: np.ndarray, *, validate: bool = True) -> np.ndarray:
+    """Validate once, pack once: one signature as ``uint64`` words.
+
+    The serving layer's submit path derives *both* artefacts it needs from
+    this single call: the words feed the packed distance backend directly
+    (:meth:`repro.core.BinarySom.distance_matrix_packed`), and their raw
+    bytes (``words.tobytes()``) are the LRU cache key.  The signature is
+    therefore validated and packed exactly once per request, instead of
+    once per lookup plus once per classification.
+    """
+    bits = _validate_bits(bits, validate=validate)
+    return pack_bits_to_words(bits)
 
 
 def signature_to_image(

@@ -311,7 +311,10 @@ class TestBackpressure:
         X, y = cluster_data
 
         class ExplodingClassifier(SomClassifier):
-            def predict_batch(self, batch):
+            def predict_batch(self, batch, *, validate=True):
+                raise RuntimeError("boom")
+
+            def predict_batch_packed(self, input_words):
                 raise RuntimeError("boom")
 
         exploding = ExplodingClassifier(BinarySom(16, X.shape[1], seed=0))
