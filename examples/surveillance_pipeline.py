@@ -90,6 +90,15 @@ def main() -> None:
             f"{identity} (ground truth {truth})"
         )
 
+    snapshot = system.metrics.snapshot()
+    print("\nPer-stage timing (vectorized front-end, mean ms/frame):")
+    for name, stats in snapshot.stages.items():
+        print(f"  {name:10s} {stats.mean_ms:8.3f} ms  (x{stats.calls} calls)")
+    print(
+        f"  {'frame':10s} {snapshot.mean_frame_ms:8.3f} ms  "
+        f"-> {snapshot.frames_per_second:.1f} frames/sec end to end"
+    )
+
 
 if __name__ == "__main__":
     main()

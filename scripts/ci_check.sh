@@ -26,6 +26,14 @@ echo "=== backend parity smoke + perf-regression guard ==="
 python scripts/check_backends.py
 
 echo
+echo "=== vision parity smoke + frame-rate regression guard ==="
+# Bit-exact agreement of the vectorized CCL / morphology / blob / batched
+# histogram paths with their retained scalar oracles, then the vectorized
+# RecognitionSystem re-timed on the 320x240 benchmark scene against the
+# baseline committed in BENCH_vision.json (fail if >2x slower).
+python scripts/check_vision.py
+
+echo
 echo "=== smoke: streaming service demo (4 cameras, 40 frames each) ==="
 python examples/streaming_service.py --streams 4 --frames 40
 

@@ -50,6 +50,21 @@ PAPER_IDENTITIES = 9
 PAPER_MIN_SILHOUETTE_PIXELS = 768
 
 
+def _erode_shaving_frame_edge(mask: np.ndarray) -> np.ndarray:
+    """Radius-1 erosion that shaves the silhouette's outline everywhere.
+
+    ``binary_erode`` treats out-of-frame pixels as foreground (the right
+    segmentation semantics: a person entering the scene is not eaten from
+    outside the image).  Boundary *noise*, however, models a sloppy
+    differencing stage that under-segments the whole outline, frame edge
+    included -- so the corruption pads with background first, which keeps
+    this dataset bit-identical to the seed protocol.
+    """
+    padded = np.zeros((mask.shape[0] + 2, mask.shape[1] + 2), dtype=bool)
+    padded[1:-1, 1:-1] = mask
+    return binary_erode(padded, 1)[1:-1, 1:-1]
+
+
 @dataclass(frozen=True)
 class SegmentationNoiseModel:
     """Models the silhouette degradation a real segmentation pipeline causes.
@@ -111,7 +126,7 @@ class SegmentationNoiseModel:
         corrupted = mask.copy()
         if rng.random() < self.boundary_noise_probability:
             if rng.random() < 0.5:
-                corrupted = binary_erode(corrupted, 1)
+                corrupted = _erode_shaving_frame_edge(corrupted)
             else:
                 corrupted = binary_dilate(corrupted, 1)
         if rng.random() < self.partial_occlusion_probability and corrupted.any():

@@ -8,6 +8,8 @@
   in the paper's conclusion: novelty detection discovers unlabelled
   objects, positional tracking collects their signatures, and the map is
   updated and relabelled on-line once enough evidence has accumulated.
+* :mod:`repro.pipeline.metrics` -- per-stage wall-clock telemetry of the
+  vision front-end, mirroring the serve layer's service metrics.
 """
 
 from repro.pipeline.system import (
@@ -16,6 +18,12 @@ from repro.pipeline.system import (
     FrameObservation,
     TrackIdentity,
 )
+from repro.pipeline.metrics import (
+    PIPELINE_STAGES,
+    PipelineMetrics,
+    PipelineMetricsSnapshot,
+    StageStats,
+)
 from repro.pipeline.online import OnlineLearner, OnlineLearnerConfig, OnlineUpdateReport
 
 __all__ = [
@@ -23,6 +31,10 @@ __all__ = [
     "RecognitionSystemConfig",
     "FrameObservation",
     "TrackIdentity",
+    "PIPELINE_STAGES",
+    "PipelineMetrics",
+    "PipelineMetricsSnapshot",
+    "StageStats",
     "OnlineLearner",
     "OnlineLearnerConfig",
     "OnlineUpdateReport",

@@ -1,0 +1,149 @@
+"""Per-stage timing telemetry for the recognition pipeline.
+
+The serve layer keeps itself honest with :mod:`repro.serve.metrics`; this
+module does the same for the CPU-side vision front-end.  Every
+:meth:`RecognitionSystem.process_frame` call records wall-clock seconds per
+stage (background differencing, morphology, connected-components labelling,
+blob extraction, tracking, signature extraction, classification) plus the
+frame total, so operators can see exactly where a camera's frame budget
+goes and the throughput benchmark can attribute its speedups
+(``BENCH_vision.json`` commits a per-stage breakdown).
+
+Recording is counter-based, O(1) and guarded by one lock, mirroring
+:class:`repro.serve.metrics.ServiceMetrics`, so a system attached to a
+multi-camera service can be scraped while frames are in flight.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Stage names in pipeline order, as recorded by ``RecognitionSystem``.
+PIPELINE_STAGES = (
+    "background",
+    "morphology",
+    "label",
+    "blobs",
+    "track",
+    "signature",
+    "classify",
+)
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Accumulated timing for one pipeline stage.
+
+    Attributes
+    ----------
+    calls:
+        Number of recorded invocations.
+    total_ms, mean_ms, last_ms:
+        Total, mean-per-call and most recent wall-clock milliseconds.
+    """
+
+    calls: int
+    total_ms: float
+    mean_ms: float
+    last_ms: float
+
+
+@dataclass(frozen=True)
+class PipelineMetricsSnapshot:
+    """Point-in-time view of the pipeline's per-stage timing.
+
+    Attributes
+    ----------
+    frames_total:
+        Frames processed since construction (or the last :meth:`reset`).
+    total_ms:
+        Summed end-to-end frame time.
+    mean_frame_ms:
+        Mean end-to-end milliseconds per frame.
+    frames_per_second:
+        ``1000 / mean_frame_ms`` (0.0 before the first frame).
+    stages:
+        Per-stage :class:`StageStats`, keyed by stage name in
+        :data:`PIPELINE_STAGES` order (stages never recorded are absent).
+    """
+
+    frames_total: int
+    total_ms: float
+    mean_frame_ms: float
+    frames_per_second: float
+    stages: dict[str, StageStats] = field(default_factory=dict)
+
+
+class PipelineMetrics:
+    """Thread-safe accumulator behind :class:`PipelineMetricsSnapshot`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stage_calls: dict[str, int] = {}
+        self._stage_total_s: dict[str, float] = {}
+        self._stage_last_s: dict[str, float] = {}
+        self.frames_total = 0
+        self._frame_total_s = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Recording (hot path)
+    # ------------------------------------------------------------------ #
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Add one timed invocation of ``stage``."""
+        if seconds < 0:
+            raise ConfigurationError(f"seconds must be non-negative, got {seconds}")
+        with self._lock:
+            self._stage_calls[stage] = self._stage_calls.get(stage, 0) + 1
+            self._stage_total_s[stage] = (
+                self._stage_total_s.get(stage, 0.0) + float(seconds)
+            )
+            self._stage_last_s[stage] = float(seconds)
+
+    def record_frame(self, seconds: float) -> None:
+        """Add one end-to-end frame time."""
+        if seconds < 0:
+            raise ConfigurationError(f"seconds must be non-negative, got {seconds}")
+        with self._lock:
+            self.frames_total += 1
+            self._frame_total_s += float(seconds)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> PipelineMetricsSnapshot:
+        """Freeze the counters for reporting."""
+        with self._lock:
+            ordered = [s for s in PIPELINE_STAGES if s in self._stage_calls]
+            ordered += [s for s in self._stage_calls if s not in PIPELINE_STAGES]
+            stages = {}
+            for stage in ordered:
+                calls = self._stage_calls[stage]
+                total_ms = self._stage_total_s[stage] * 1e3
+                stages[stage] = StageStats(
+                    calls=calls,
+                    total_ms=total_ms,
+                    mean_ms=total_ms / calls,
+                    last_ms=self._stage_last_s[stage] * 1e3,
+                )
+            frames = self.frames_total
+            total_ms = self._frame_total_s * 1e3
+        mean_frame_ms = total_ms / frames if frames else 0.0
+        return PipelineMetricsSnapshot(
+            frames_total=frames,
+            total_ms=total_ms,
+            mean_frame_ms=mean_frame_ms,
+            frames_per_second=1e3 / mean_frame_ms if mean_frame_ms > 0 else 0.0,
+            stages=stages,
+        )
+
+    def reset(self) -> None:
+        """Clear all accumulated counters (e.g. between benchmark repeats)."""
+        with self._lock:
+            self._stage_calls.clear()
+            self._stage_total_s.clear()
+            self._stage_last_s.clear()
+            self.frames_total = 0
+            self._frame_total_s = 0.0

@@ -28,6 +28,7 @@ from __future__ import annotations
 import time
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
@@ -39,15 +40,26 @@ from repro.errors import (
     ServiceError,
     ServiceOverloadedError,
 )
+from repro.pipeline.metrics import PipelineMetrics
 from repro.signatures.binarize import MeanThreshold, ThresholdStrategy
-from repro.signatures.histogram import rgb_histogram
+from repro.signatures.histogram import rgb_histogram, rgb_histogram_batch
 from repro.signatures.binarize import binarize_histogram
 from repro.signatures.signature import BinarySignature
 from repro.vision.background import BackgroundSubtractor
-from repro.vision.blobs import Blob, extract_blobs, filter_blobs_by_area
+from repro.vision.blobs import (
+    Blob,
+    extract_blobs,
+    extract_blobs_oracle,
+    filter_blobs_by_area,
+)
 from repro.vision.connected_components import ConnectedComponentLabeller
 from repro.vision.frame import Frame
-from repro.vision.morphology import binary_close, binary_open
+from repro.vision.morphology import (
+    binary_close,
+    binary_close_oracle,
+    binary_open,
+    binary_open_oracle,
+)
 from repro.vision.tracker import ObjectTracker
 
 
@@ -73,6 +85,13 @@ class RecognitionSystemConfig:
         Distance-backend selection applied to the classifier's SOM when it
         supports pluggable backends (``"gemm"``, ``"packed"``, ``"naive"``,
         ``"auto"``); ``None`` keeps the SOM's current backend.
+    vectorized:
+        ``True`` (default) runs the array-level vision front-end (run-based
+        CCL, separable morphology, single-pass blob extraction, batched
+        histograms).  ``False`` runs the retained scalar oracles -- the
+        seed implementation -- which produce identical outputs orders of
+        magnitude slower; the throughput benchmark and the parity tests
+        flip this switch.
     """
 
     difference_threshold: float = 28.0
@@ -81,6 +100,7 @@ class RecognitionSystemConfig:
     bins_per_channel: int = 256
     vote_window: int = 15
     distance_backend: Optional[str] = None
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.min_blob_area < 0:
@@ -161,10 +181,14 @@ class RecognitionSystem:
             classifier.som.set_backend(self.config.distance_backend)
         self.strategy = strategy or MeanThreshold()
         self.subtractor = BackgroundSubtractor(
-            threshold=self.config.difference_threshold
+            threshold=self.config.difference_threshold,
+            vectorized=self.config.vectorized,
         )
-        self.labeller = ConnectedComponentLabeller(connectivity=8)
+        self.labeller = ConnectedComponentLabeller(
+            connectivity=8, vectorized=self.config.vectorized
+        )
         self.tracker = ObjectTracker()
+        self.metrics = PipelineMetrics()
         self._identities: dict[int, TrackIdentity] = defaultdict(
             lambda: TrackIdentity(track_id=-1)
         )
@@ -258,22 +282,63 @@ class RecognitionSystem:
         self.subtractor.initialise(image)
 
     def segment(self, image: np.ndarray) -> list[Blob]:
-        """Segment candidate object silhouettes from one frame."""
+        """Segment candidate object silhouettes from one frame.
+
+        Each stage (background differencing, morphology, labelling, blob
+        extraction) is timed into :attr:`metrics`.
+        """
+        start = perf_counter()
         foreground = self.subtractor.apply(image)
+        tick = perf_counter()
+        self.metrics.record_stage("background", tick - start)
         if self.config.morphology_radius > 0:
-            foreground = binary_close(
-                binary_open(foreground, self.config.morphology_radius),
-                self.config.morphology_radius,
-            )
+            if self.config.vectorized:
+                foreground = binary_close(
+                    binary_open(foreground, self.config.morphology_radius),
+                    self.config.morphology_radius,
+                )
+            else:
+                foreground = binary_close_oracle(
+                    binary_open_oracle(foreground, self.config.morphology_radius),
+                    self.config.morphology_radius,
+                )
+        tock = perf_counter()
+        self.metrics.record_stage("morphology", tock - tick)
         labels, count = self.labeller.label(foreground)
-        blobs = extract_blobs(labels, count)
-        return filter_blobs_by_area(blobs, self.config.min_blob_area)
+        tick = perf_counter()
+        self.metrics.record_stage("label", tick - tock)
+        if self.config.vectorized:
+            blobs = extract_blobs(labels, count)
+        else:
+            blobs = extract_blobs_oracle(labels, count)
+        blobs = filter_blobs_by_area(blobs, self.config.min_blob_area)
+        self.metrics.record_stage("blobs", perf_counter() - tick)
+        return blobs
 
     def extract_signature(self, image: np.ndarray, blob: Blob) -> BinarySignature:
         """Colour histogram + mean-threshold binarisation for one blob."""
         histogram = rgb_histogram(image, blob.mask, self.config.bins_per_channel)
         bits = binarize_histogram(histogram, self.strategy)
         return BinarySignature(bits=bits)
+
+    def _frame_signatures(self, image: np.ndarray, blobs: list[Blob]) -> list[BinarySignature]:
+        """Signatures for all of a frame's blobs.
+
+        The vectorized path histograms every silhouette in one
+        offset-``bincount`` call over the blobs' cropped masks; the oracle
+        path recomputes each blob's full-frame histogram separately.
+        """
+        if not self.config.vectorized:
+            return [self.extract_signature(image, blob) for blob in blobs]
+        histograms = rgb_histogram_batch(
+            image,
+            [(blob.bounding_box, blob.crop_mask()) for blob in blobs],
+            self.config.bins_per_channel,
+        )
+        return [
+            BinarySignature(bits=bits)
+            for bits in self.strategy.binarize_batch(histograms)
+        ]
 
     def process_frame(self, frame: Frame) -> list[FrameObservation]:
         """Run the full pipeline on one frame and return the identifications.
@@ -282,16 +347,23 @@ class RecognitionSystem:
         through the attached streaming service or directly via
         :meth:`~repro.core.SomClassifier.predict_batch`.
         """
+        frame_start = perf_counter()
         blobs = self.segment(frame.image)
+        tick = perf_counter()
         assignments = self.tracker.update(frame.index, blobs)
+        tock = perf_counter()
+        self.metrics.record_stage("track", tock - tick)
         observations: list[FrameObservation] = []
         if assignments:
             tracked = list(assignments.items())
-            signatures = [
-                self.extract_signature(frame.image, blob) for _, blob in tracked
-            ]
+            signatures = self._frame_signatures(
+                frame.image, [blob for _, blob in tracked]
+            )
             stacked = np.vstack([signature.bits for signature in signatures])
+            tick = perf_counter()
+            self.metrics.record_stage("signature", tick - tock)
             labels, distances = self._classify_batch(stacked)
+            self.metrics.record_stage("classify", perf_counter() - tick)
             for (track_id, blob), signature, label, distance in zip(
                 tracked, signatures, labels, distances
             ):
@@ -309,6 +381,7 @@ class RecognitionSystem:
                     )
                 )
         self.frames_processed += 1
+        self.metrics.record_frame(perf_counter() - frame_start)
         return observations
 
     def process_sequence(self, frames) -> list[FrameObservation]:

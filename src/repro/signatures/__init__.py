@@ -13,6 +13,8 @@ Public API
     Accumulates an RGB histogram from silhouette pixels.
 :func:`rgb_histogram`
     One-shot histogram extraction from an image + mask.
+:func:`rgb_histogram_batch`
+    All silhouettes of a frame histogrammed in one offset-``bincount``.
 :func:`binarize_histogram`
     Mean-threshold binarisation (equation 1/2 of the paper).
 :func:`extract_signature`
@@ -28,6 +30,7 @@ from repro.signatures.histogram import (
     HISTOGRAM_BINS,
     BINS_PER_CHANNEL,
     rgb_histogram,
+    rgb_histogram_batch,
 )
 from repro.signatures.binarize import (
     ThresholdStrategy,
@@ -58,6 +61,7 @@ __all__ = [
     "HISTOGRAM_BINS",
     "BINS_PER_CHANNEL",
     "rgb_histogram",
+    "rgb_histogram_batch",
     "ThresholdStrategy",
     "MeanThreshold",
     "MedianThreshold",

@@ -9,14 +9,16 @@ implements that substrate from scratch:
 * :mod:`repro.vision.frame` -- frame and video-sequence containers,
 * :mod:`repro.vision.synthetic` -- a deterministic synthetic surveillance
   scene generator standing in for the paper's two-hour indoor recording,
-* :mod:`repro.vision.background` -- running-average background model and
-  frame differencing,
-* :mod:`repro.vision.morphology` -- binary erosion / dilation / opening /
-  closing used to clean the foreground mask,
-* :mod:`repro.vision.connected_components` -- two-pass connected-components
-  labelling with union-find,
-* :mod:`repro.vision.blobs` -- blob extraction (silhouettes, bounding
-  boxes, centroids) and the paper's minimum-size noise filter,
+* :mod:`repro.vision.background` -- running-average background model
+  (float32, updated in place) and frame differencing,
+* :mod:`repro.vision.morphology` -- separable binary erosion / dilation /
+  opening / closing used to clean the foreground mask (full-kernel
+  oracles retained as ``*_oracle``),
+* :mod:`repro.vision.connected_components` -- vectorized run-based
+  connected-components labelling, with the two-pass scalar union-find
+  labeller retained as its bit-exact oracle,
+* :mod:`repro.vision.blobs` -- single-pass blob extraction (silhouettes,
+  bounding boxes, centroids) and the paper's minimum-size noise filter,
 * :mod:`repro.vision.tracker` -- a nearest-neighbour frame-to-frame tracker
   that maintains persistent object identities.
 """
@@ -29,9 +31,18 @@ from repro.vision.synthetic import (
     default_actor_palette,
 )
 from repro.vision.background import BackgroundModel, BackgroundSubtractor
-from repro.vision.morphology import binary_dilate, binary_erode, binary_open, binary_close
+from repro.vision.morphology import (
+    binary_dilate,
+    binary_erode,
+    binary_open,
+    binary_close,
+    binary_dilate_oracle,
+    binary_erode_oracle,
+    binary_open_oracle,
+    binary_close_oracle,
+)
 from repro.vision.connected_components import ConnectedComponentLabeller, label_components
-from repro.vision.blobs import Blob, extract_blobs, filter_blobs_by_area
+from repro.vision.blobs import Blob, extract_blobs, extract_blobs_oracle, filter_blobs_by_area
 from repro.vision.tracker import ObjectTracker, Track, TrackState
 
 __all__ = [
@@ -47,10 +58,15 @@ __all__ = [
     "binary_erode",
     "binary_open",
     "binary_close",
+    "binary_dilate_oracle",
+    "binary_erode_oracle",
+    "binary_open_oracle",
+    "binary_close_oracle",
     "ConnectedComponentLabeller",
     "label_components",
     "Blob",
     "extract_blobs",
+    "extract_blobs_oracle",
     "filter_blobs_by_area",
     "ObjectTracker",
     "Track",
