@@ -1,16 +1,19 @@
-"""Streaming service demo: N simulated cameras against one shared registry.
+"""Streaming service demo: N simulated cameras, one registry, one hot-swap.
 
 The paper deploys one bSOM behind one camera; this demo shows the serving
-subsystem (:mod:`repro.serve`) scaling that deployment sideways:
+subsystem (:mod:`repro.serve`) scaling that deployment sideways through the
+:mod:`repro.api` lifecycle facade:
 
-1. train a bSOM identifier off-line and snapshot it with ``save_model``
+1. train a bSOM identifier off-line and snapshot it with ``api.save``
    (exactly the paper's train-on-PC, ship-the-weights flow),
-2. stand up a :class:`StreamingInferenceService` -- micro-batching
-   scheduler, sharded model registry, signature LRU cache, telemetry --
-   and load the snapshot into the registry by name,
-3. drive several concurrent simulated camera streams through it, and
-4. print the telemetry: throughput, latency percentiles, batch fill,
-   cache hit-rate and per-shard queue depths.
+2. stand up the service with ``api.serve`` -- micro-batching scheduler,
+   sharded model registry, signature LRU cache, in-flight dedup,
+   telemetry -- straight from the loaded snapshot,
+3. drive several concurrent simulated camera streams through it,
+4. hot-swap to a longer-trained map with ``api.swap`` (the software
+   "reflash": zero dropped requests) and drive the streams again, and
+5. print the telemetry: throughput, latency percentiles, batch fill,
+   cache/dedup hit-rates and the swap counter.
 
 Run with::
 
@@ -24,44 +27,12 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.core import BinarySom, SomClassifier, save_model
+from repro import api
 from repro.datasets import make_surveillance_dataset
-from repro.serve import (
-    ServiceConfig,
-    SimulatedCameraStream,
-    StreamingInferenceService,
-    drive_streams,
-)
+from repro.serve import ServiceConfig, SimulatedCameraStream, drive_streams
 
 
-def main(n_streams: int = 6, frames_per_stream: int = 200) -> None:
-    print("=== 1. Off-line training and snapshot ===")
-    dataset = make_surveillance_dataset(scale=0.1, seed=2010)
-    classifier = SomClassifier(BinarySom(40, dataset.n_bits, seed=0))
-    classifier.fit(dataset.train_signatures, dataset.train_labels, epochs=15, seed=1)
-    accuracy = classifier.score(dataset.test_signatures, dataset.test_labels)
-    print(f"trained bSOM accuracy on held-out signatures: {accuracy:.2%}")
-
-    snapshot = Path(tempfile.mkdtemp()) / "hall-bsom.npz"
-    save_model(classifier, snapshot)
-    print(f"snapshot written to {snapshot}")
-
-    print("\n=== 2. Service: registry + shards + micro-batching + cache ===")
-    config = ServiceConfig(
-        batch_size=32,
-        max_delay_ms=5.0,
-        cache_capacity=4096,
-        n_shards=2,
-        routing_policy="least_loaded",
-    )
-    service = StreamingInferenceService(config=config)
-    service.load_model("hall", snapshot)
-    print(
-        f"registered models: {service.registry.names()}  "
-        f"(shards per model: {config.n_shards}, policy: {config.routing_policy})"
-    )
-
-    print(f"\n=== 3. {n_streams} concurrent camera streams ===")
+def _drive(service, dataset, n_streams, frames_per_stream, seed0):
     streams = [
         SimulatedCameraStream(
             f"cam-{index}",
@@ -69,15 +40,13 @@ def main(n_streams: int = 6, frames_per_stream: int = 200) -> None:
             dataset.test_labels,
             n_frames=frames_per_stream,
             repeat_probability=0.4,
-            seed=100 + index,
+            seed=seed0 + index,
         )
         for index in range(n_streams)
     ]
-    with service:
-        start = time.perf_counter()
-        reports = drive_streams(service, streams, model="hall")
-        elapsed = time.perf_counter() - start
-
+    start = time.perf_counter()
+    reports = drive_streams(service, streams, model="hall")
+    elapsed = time.perf_counter() - start
     answered = sum(len(report.responses) for report in reports)
     print(f"served {answered} classifications in {elapsed:.2f} s "
           f"({answered / elapsed:,.0f} signatures/s)")
@@ -87,18 +56,65 @@ def main(n_streams: int = 6, frames_per_stream: int = 200) -> None:
             f"accuracy {report.accuracy:.2%}, cache hits {report.cache_hits}, "
             f"backpressure retries {report.backpressure_retries}"
         )
+    return reports
 
-    print("\n=== 4. Telemetry ===")
-    snapshot_metrics = service.metrics_snapshot()
-    print(f"requests total:      {snapshot_metrics.requests_total}")
-    print(f"batches dispatched:  {snapshot_metrics.batches_total} "
-          f"(mean fill {snapshot_metrics.mean_batch_fill:.2f}, "
-          f"mean size {snapshot_metrics.mean_batch_size:.1f})")
-    print(f"cache hit rate:      {snapshot_metrics.cache_hit_rate:.2%}")
-    print(f"latency p50/p95/p99: {snapshot_metrics.latency_p50_ms:.2f} / "
-          f"{snapshot_metrics.latency_p95_ms:.2f} / "
-          f"{snapshot_metrics.latency_p99_ms:.2f} ms")
-    print(f"backpressure:        {snapshot_metrics.backpressure_rejections} rejections")
+
+def main(n_streams: int = 6, frames_per_stream: int = 200) -> None:
+    print("=== 1. Off-line training and snapshot ===")
+    dataset = make_surveillance_dataset(scale=0.1, seed=2010)
+    classifier = api.train(
+        dataset.train_signatures, dataset.train_labels,
+        n_neurons=40, epochs=15, seed=2010,
+    )
+    accuracy = classifier.score(dataset.test_signatures, dataset.test_labels)
+    print(f"trained bSOM accuracy on held-out signatures: {accuracy:.2%}")
+
+    snapshot_path = Path(tempfile.mkdtemp()) / "hall-bsom.npz"
+    api.save(classifier, snapshot_path)
+    print(f"snapshot written to {snapshot_path}")
+
+    print("\n=== 2. Service: registry + shards + micro-batching + cache ===")
+    config = ServiceConfig(
+        batch_size=32,
+        max_delay_ms=5.0,
+        cache_capacity=4096,
+        n_shards=2,
+        routing_policy="least_loaded",
+    )
+    service = api.serve({"hall": api.load(snapshot_path)}, config=config, start=False)
+    print(
+        f"registered models: {service.registry.names()}  "
+        f"(shards per model: {config.n_shards}, policy: {config.routing_policy})"
+    )
+
+    with service:
+        print(f"\n=== 3. {n_streams} concurrent camera streams ===")
+        _drive(service, dataset, n_streams, frames_per_stream, seed0=100)
+
+        print("\n=== 4. Hot-swap to a longer-trained map (zero-drop reflash) ===")
+        improved = api.train(
+            dataset.train_signatures, dataset.train_labels,
+            n_neurons=40, epochs=30, seed=2010,
+        )
+        api.swap(service, "hall", api.snapshot(improved))
+        print(f"swapped in epochs=30 map "
+              f"(accuracy {improved.score(dataset.test_signatures, dataset.test_labels):.2%}); "
+              f"driving the streams again")
+        _drive(service, dataset, n_streams, frames_per_stream, seed0=500)
+
+        print("\n=== 5. Telemetry ===")
+        snapshot_metrics = service.metrics_snapshot()
+        print(f"requests total:      {snapshot_metrics.requests_total}")
+        print(f"batches dispatched:  {snapshot_metrics.batches_total} "
+              f"(mean fill {snapshot_metrics.mean_batch_fill:.2f}, "
+              f"mean size {snapshot_metrics.mean_batch_size:.1f})")
+        print(f"cache hit rate:      {snapshot_metrics.cache_hit_rate:.2%}")
+        print(f"in-flight dedup:     {snapshot_metrics.dedup_hits} fan-outs")
+        print(f"model hot-swaps:     {snapshot_metrics.model_swaps}")
+        print(f"latency p50/p95/p99: {snapshot_metrics.latency_p50_ms:.2f} / "
+              f"{snapshot_metrics.latency_p95_ms:.2f} / "
+              f"{snapshot_metrics.latency_p99_ms:.2f} ms")
+        print(f"backpressure:        {snapshot_metrics.backpressure_rejections} rejections")
 
 
 if __name__ == "__main__":

@@ -34,6 +34,14 @@ echo "=== vision parity smoke + frame-rate regression guard ==="
 python scripts/check_vision.py
 
 echo
+echo "=== lifecycle smoke: save -> load -> serve -> swap under load ==="
+# The unified lifecycle API end to end: format-v2 round-trip (backend +
+# weights-version preserved), serving from a snapshot, a hot-swap issued
+# while concurrent submitters are mid-flight (zero dropped requests), and
+# the in-flight dedup counter moving.
+python scripts/check_lifecycle.py
+
+echo
 echo "=== smoke: streaming service demo (4 cameras, 40 frames each) ==="
 python examples/streaming_service.py --streams 4 --frames 40
 

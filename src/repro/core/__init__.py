@@ -18,7 +18,11 @@ conventional Kohonen SOM (cSOM) it is benchmarked against in Table I:
   rejection (section III-B),
 * :mod:`repro.core.novelty` -- rejection-threshold calibration and novelty
   detection (used by the on-line extension),
-* :mod:`repro.core.serialization` -- saving/loading trained maps.
+* :mod:`repro.core.snapshot` -- the immutable :class:`ModelSnapshot`, the
+  single currency persistence and serving exchange, and
+* :mod:`repro.core.serialization` -- the codec registry turning models into
+  snapshots and snapshots into self-describing ``.npz`` archives
+  (format v2; v1 archives remain loadable).
 """
 
 from repro.core.tristate import (
@@ -63,7 +67,18 @@ from repro.core.classifier import (
     UNKNOWN_LABEL,
 )
 from repro.core.novelty import NoveltyDetector, calibrate_rejection_threshold
-from repro.core.serialization import save_model, load_model
+from repro.core.snapshot import ModelSnapshot, SnapshotLabelling
+from repro.core.serialization import (
+    LossySerializationWarning,
+    build_model,
+    load_model,
+    load_snapshot,
+    register_schedule_codec,
+    register_som_codec,
+    register_topology_codec,
+    save_model,
+    snapshot_model,
+)
 
 __all__ = [
     "DONT_CARE",
@@ -103,6 +118,15 @@ __all__ = [
     "UNKNOWN_LABEL",
     "NoveltyDetector",
     "calibrate_rejection_threshold",
+    "ModelSnapshot",
+    "SnapshotLabelling",
+    "LossySerializationWarning",
+    "snapshot_model",
+    "build_model",
     "save_model",
     "load_model",
+    "load_snapshot",
+    "register_som_codec",
+    "register_topology_codec",
+    "register_schedule_codec",
 ]

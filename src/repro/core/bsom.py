@@ -269,6 +269,23 @@ class BinarySom(SelfOrganisingMap):
             backend, self._weights, self._weights_version
         )
 
+    def warm_operands(self) -> None:
+        """Eagerly derive and cache every operand the serving paths need.
+
+        The registry's hot-swap calls this *before* flipping shards to a
+        new map, so the first micro-batch on the new weights scores against
+        already-prepared operands instead of paying the ``prepare`` cost
+        inside a worker's critical path.  Warms both the configured
+        backend and, when that backend cannot take pre-packed ``uint64``
+        queries, the packed fallback kernel behind
+        :meth:`distance_matrix_packed`.
+        """
+        self._operands()
+        if not hasattr(self._backend, "pairwise_packed"):
+            if self._fallback_packed is None:
+                self._fallback_packed = PackedBackend()
+            self._operands(self._fallback_packed)
+
     def _note_weights_changed(self, rows: np.ndarray | None) -> None:
         """Bump the weights version; keep warm operands warm when possible."""
         old_version = self._weights_version

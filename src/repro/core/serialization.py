@@ -1,19 +1,41 @@
-"""Saving and loading trained maps and classifiers.
+"""Saving and loading trained maps and classifiers (format v2, codec-based).
 
-Models are stored as ``.npz`` archives with a small JSON header describing
-the model class and its configuration.  The format stores everything a
-deployed identification system needs to resume: the weight matrix (tri-state
-or real), the node labels, the win-frequency table and the rejection
-threshold.  This mirrors the paper's deployment story -- the map is trained
-off-line on a PC and the resulting weights/labels are what actually lives in
-the FPGA's BlockRAM.
+Models are stored as ``.npz`` archives with a JSON header describing the
+model class and its configuration.  The format stores everything a deployed
+identification system needs to resume: the weight matrix (tri-state or
+real), the node labels, the win-frequency table, the rejection threshold,
+and -- new in format v2 -- the distance-backend selection and the map's
+weights-version counter, so a loaded model serves exactly like the one that
+was saved.  This mirrors the paper's deployment story: the map is trained
+off-line on a PC and the resulting weights/labels are what actually lives
+in the FPGA's BlockRAM.
+
+The module is organised around two ideas:
+
+* :class:`~repro.core.snapshot.ModelSnapshot` is the single currency: a
+  live model is first frozen into a snapshot (:func:`snapshot_model`), the
+  snapshot is what goes to and comes from disk (:func:`load_snapshot`), and
+  :func:`build_model` materialises a live model from one.
+* Codec registries map model / topology / schedule *classes* to their
+  encoded configuration and back (:func:`register_som_codec`,
+  :func:`register_topology_codec`, :func:`register_schedule_codec`).  New
+  map types, topologies or schedules join the format by registering a
+  codec -- no ``isinstance`` chain to extend.
+
+Format-v1 archives (written before the codec layer existed) remain
+loadable; they simply come back with ``backend=None`` and
+``weights_version=None``.  Schedules without a registered codec are
+collapsed to a constant-radius stepwise schedule, with an explicit
+:class:`LossySerializationWarning` so the loss is never silent.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Any, Callable, Mapping, Optional, Union
 
 import numpy as np
 
@@ -21,7 +43,14 @@ from repro.core.bsom import BinarySom, BsomUpdateRule
 from repro.core.classifier import SomClassifier
 from repro.core.csom import KohonenSom, LearningRateSchedule
 from repro.core.labelling import LabelledMap
+from repro.core.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    ModelSnapshot,
+    SnapshotLabelling,
+)
+from repro.core.som import SelfOrganisingMap
 from repro.core.topology import (
+    ConstantNeighbourhoodSchedule,
     Grid2DTopology,
     LinearTopology,
     RingTopology,
@@ -29,103 +58,398 @@ from repro.core.topology import (
 )
 from repro.errors import DataError
 
-_FORMAT_VERSION = 1
-
 PathLike = Union[str, Path]
 
 
-def _topology_config(topology) -> dict:
-    if isinstance(topology, Grid2DTopology):
-        return {"kind": "grid2d", "rows": topology.rows, "cols": topology.cols}
-    if isinstance(topology, RingTopology):
-        return {"kind": "ring", "n_neurons": topology.n_neurons}
-    if isinstance(topology, LinearTopology):
-        return {"kind": "linear", "n_neurons": topology.n_neurons}
-    raise DataError(f"cannot serialise topology of type {type(topology).__name__}")
+class LossySerializationWarning(UserWarning):
+    """A model component could not round-trip exactly and was approximated.
+
+    Emitted (never silently) when e.g. a custom neighbourhood schedule has
+    no registered codec and is collapsed to a constant-radius stepwise
+    schedule in the archive.
+    """
 
 
-def _topology_from_config(config: dict):
-    kind = config["kind"]
-    if kind == "grid2d":
-        return Grid2DTopology(config["rows"], config["cols"])
-    if kind == "ring":
-        return RingTopology(config["n_neurons"])
-    if kind == "linear":
-        return LinearTopology(config["n_neurons"])
-    raise DataError(f"unknown topology kind {kind!r} in saved model")
+# --------------------------------------------------------------------------- #
+# Component codec registries (topologies and schedules)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ComponentCodec:
+    """One class's encode/decode pair in a :class:`CodecRegistry`."""
+
+    kind: str
+    cls: type
+    encode: Callable[[Any], dict]
+    decode: Callable[[Mapping[str, Any]], Any]
 
 
-def _schedule_config(schedule) -> dict:
-    if isinstance(schedule, StepwiseNeighbourhoodSchedule):
-        return {
-            "kind": "stepwise",
-            "max_radius": schedule.max_radius,
-            "min_radius": schedule.min_radius,
-        }
-    # Constant and custom schedules round-trip as stepwise with equal radii.
+class CodecRegistry:
+    """Class-keyed codec lookup replacing ``isinstance`` dispatch chains."""
+
+    def __init__(self, what: str):
+        self.what = what
+        self._by_class: dict[type, ComponentCodec] = {}
+        self._by_kind: dict[str, ComponentCodec] = {}
+
+    def register(self, codec: ComponentCodec) -> ComponentCodec:
+        self._by_class[codec.cls] = codec
+        self._by_kind[codec.kind] = codec
+        return codec
+
+    def codec_for(self, obj: Any) -> Optional[ComponentCodec]:
+        """Codec registered for ``type(obj)`` (exact class match), if any."""
+        return self._by_class.get(type(obj))
+
+    def codec_for_kind(self, kind: str) -> Optional[ComponentCodec]:
+        """Codec registered under ``kind``, if any."""
+        return self._by_kind.get(kind)
+
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(sorted(self._by_kind))
+
+    def encode(self, obj: Any) -> dict:
+        codec = self.codec_for(obj)
+        if codec is None:
+            raise DataError(
+                f"cannot serialise {self.what} of type {type(obj).__name__}; "
+                f"registered kinds: {', '.join(self.kinds())}"
+            )
+        config = dict(codec.encode(obj))
+        config["kind"] = codec.kind
+        return config
+
+    def decode(self, config: Mapping[str, Any]) -> Any:
+        kind = config.get("kind")
+        codec = self._by_kind.get(kind)
+        if codec is None:
+            raise DataError(
+                f"unknown {self.what} kind {kind!r} in saved model; "
+                f"registered kinds: {', '.join(self.kinds())}"
+            )
+        return codec.decode(config)
+
+
+TOPOLOGY_CODECS = CodecRegistry("topology")
+SCHEDULE_CODECS = CodecRegistry("neighbourhood schedule")
+
+
+def register_topology_codec(
+    kind: str, cls: type, encode: Callable[[Any], dict], decode: Callable[[Mapping], Any]
+) -> None:
+    """Register a topology class with the archive format."""
+    TOPOLOGY_CODECS.register(ComponentCodec(kind, cls, encode, decode))
+
+
+def register_schedule_codec(
+    kind: str, cls: type, encode: Callable[[Any], dict], decode: Callable[[Mapping], Any]
+) -> None:
+    """Register a neighbourhood-schedule class with the archive format."""
+    SCHEDULE_CODECS.register(ComponentCodec(kind, cls, encode, decode))
+
+
+register_topology_codec(
+    "grid2d",
+    Grid2DTopology,
+    lambda topology: {"rows": topology.rows, "cols": topology.cols},
+    lambda config: Grid2DTopology(config["rows"], config["cols"]),
+)
+register_topology_codec(
+    "ring",
+    RingTopology,
+    lambda topology: {"n_neurons": topology.n_neurons},
+    lambda config: RingTopology(config["n_neurons"]),
+)
+register_topology_codec(
+    "linear",
+    LinearTopology,
+    lambda topology: {"n_neurons": topology.n_neurons},
+    lambda config: LinearTopology(config["n_neurons"]),
+)
+
+register_schedule_codec(
+    "stepwise",
+    StepwiseNeighbourhoodSchedule,
+    lambda schedule: {
+        "max_radius": schedule.max_radius,
+        "min_radius": schedule.min_radius,
+    },
+    lambda config: StepwiseNeighbourhoodSchedule(
+        max_radius=config["max_radius"], min_radius=config["min_radius"]
+    ),
+)
+register_schedule_codec(
+    "constant",
+    ConstantNeighbourhoodSchedule,
+    lambda schedule: {"radius": schedule.radius(0, 1)},
+    lambda config: ConstantNeighbourhoodSchedule(radius=config["radius"]),
+)
+
+
+def _encode_schedule(schedule) -> dict:
+    try:
+        return SCHEDULE_CODECS.encode(schedule)
+    except DataError:
+        pass
+    # No codec for this schedule class: collapse to its iteration-0 radius.
     radius = schedule.radius(0, 1)
+    warnings.warn(
+        f"neighbourhood schedule of type {type(schedule).__name__} has no "
+        f"registered codec and was lossily collapsed to a stepwise schedule "
+        f"with constant radius {radius}; register_schedule_codec() makes it "
+        f"round-trip exactly",
+        LossySerializationWarning,
+        stacklevel=3,
+    )
     return {"kind": "stepwise", "max_radius": radius, "min_radius": radius}
 
 
-def _schedule_from_config(config: dict) -> StepwiseNeighbourhoodSchedule:
-    return StepwiseNeighbourhoodSchedule(
-        max_radius=config["max_radius"], min_radius=config["min_radius"]
+# --------------------------------------------------------------------------- #
+# SOM codecs (per-model-class)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SomCodec:
+    """Encode/build pair for one :class:`SelfOrganisingMap` subclass.
+
+    ``encode_config`` extracts the kind-specific configuration mapping;
+    ``build`` constructs a fresh map from a :class:`ModelSnapshot` (weights
+    already validated against the snapshot's shape).
+    """
+
+    kind: str
+    cls: type
+    encode_config: Callable[[Any], dict]
+    build: Callable[[ModelSnapshot], SelfOrganisingMap]
+
+
+SOM_CODECS = CodecRegistry("model")
+
+
+def register_som_codec(codec: SomCodec) -> None:
+    """Register a SOM class with the snapshot/archive layer."""
+    SOM_CODECS.register(
+        ComponentCodec(codec.kind, codec.cls, codec.encode_config, codec.build)
     )
 
 
-def save_model(model: Union[BinarySom, KohonenSom, SomClassifier], path: PathLike) -> Path:
-    """Serialise ``model`` to ``path`` (``.npz``) and return the path written.
+def _build_bsom(snapshot: ModelSnapshot) -> BinarySom:
+    som = BinarySom(
+        snapshot.n_neurons,
+        snapshot.n_bits,
+        topology=TOPOLOGY_CODECS.decode(snapshot.topology),
+        schedule=SCHEDULE_CODECS.decode(snapshot.schedule),
+        update_rule=BsomUpdateRule(**snapshot.config["update_rule"]),
+    )
+    som.set_weights(np.asarray(snapshot.weights).astype(np.int8))
+    if snapshot.backend is not None:
+        som.set_backend(snapshot.backend)
+    return som
 
-    Both bare maps and fitted :class:`SomClassifier` instances are
-    supported; classifiers additionally store their labelling and rejection
-    threshold.
+
+def _build_csom(snapshot: ModelSnapshot) -> KohonenSom:
+    som = KohonenSom(
+        snapshot.n_neurons,
+        snapshot.n_bits,
+        topology=TOPOLOGY_CODECS.decode(snapshot.topology),
+        schedule=SCHEDULE_CODECS.decode(snapshot.schedule),
+        learning_rate=LearningRateSchedule(**snapshot.config["learning_rate"]),
+        neighbour_decay=snapshot.config["neighbour_decay"],
+    )
+    som.set_weights(np.asarray(snapshot.weights, dtype=np.float64))
+    return som
+
+
+register_som_codec(
+    SomCodec(
+        kind="BinarySom",
+        cls=BinarySom,
+        encode_config=lambda som: {
+            "update_rule": {
+                "winner_rule": som.update_rule.winner_rule,
+                "neighbour_rule": som.update_rule.neighbour_rule,
+                "neighbour_strength": som.update_rule.neighbour_strength,
+            }
+        },
+        build=_build_bsom,
+    )
+)
+register_som_codec(
+    SomCodec(
+        kind="KohonenSom",
+        cls=KohonenSom,
+        encode_config=lambda som: {
+            "learning_rate": {
+                "initial": som.learning_rate.initial,
+                "final": som.learning_rate.final,
+            },
+            "neighbour_decay": som.neighbour_decay,
+        },
+        build=_build_csom,
+    )
+)
+
+
+# --------------------------------------------------------------------------- #
+# Live model <-> snapshot
+# --------------------------------------------------------------------------- #
+def _backend_name(som) -> Optional[str]:
+    backend = getattr(som, "backend", None)
+    return getattr(backend, "name", None)
+
+
+def _raw_weights(som) -> np.ndarray:
+    weights = som.weights
+    # The bSOM's `weights` property wraps the matrix in TriStateWeights.
+    return getattr(weights, "values", weights)
+
+
+def snapshot_model(
+    model: Union[ModelSnapshot, SelfOrganisingMap, SomClassifier],
+    *,
+    metadata: Optional[Mapping[str, Any]] = None,
+) -> ModelSnapshot:
+    """Freeze a live map or classifier into a :class:`ModelSnapshot`.
+
+    Snapshots pass through unchanged (with ``metadata`` merged in when
+    given), so every lifecycle entry point can accept either form.
     """
+    if isinstance(model, ModelSnapshot):
+        if not metadata:
+            return model
+        import dataclasses
+
+        return dataclasses.replace(
+            model, metadata={**model.metadata, **dict(metadata)}
+        )
+
+    if isinstance(model, SomClassifier):
+        inner = model.som
+        classifier = True
+    else:
+        inner = model
+        classifier = False
+
+    codec = SOM_CODECS.codec_for(inner)
+    if codec is None:
+        raise DataError(
+            f"cannot serialise model of type {type(inner).__name__}; "
+            f"registered kinds: {', '.join(SOM_CODECS.kinds())}"
+        )
+
+    labelling = None
+    rejection_percentile: Optional[float] = None
+    rejection_margin = 1.0
+    rejection_threshold: Optional[float] = None
+    if classifier:
+        rejection_percentile = model.rejection_percentile
+        rejection_margin = model.rejection_margin
+        rejection_threshold = model.rejection_threshold
+        if model.labelling is not None:
+            labelling = SnapshotLabelling(
+                node_labels=model.labelling.node_labels,
+                win_frequencies=model.labelling.win_frequencies,
+                labels=model.labelling.labels,
+            )
+
+    return ModelSnapshot(
+        kind=codec.kind,
+        n_neurons=inner.n_neurons,
+        n_bits=inner.n_bits,
+        weights=_raw_weights(inner),
+        topology=TOPOLOGY_CODECS.encode(inner.topology),
+        schedule=_encode_schedule(inner.schedule),
+        config=dict(codec.encode(inner)),
+        weights_version=inner.weights_version,
+        backend=_backend_name(inner),
+        classifier=classifier,
+        rejection_percentile=rejection_percentile,
+        rejection_margin=rejection_margin,
+        rejection_threshold=rejection_threshold,
+        labelling=labelling,
+        metadata=dict(metadata or {}),
+    )
+
+
+def build_model(
+    snapshot: ModelSnapshot,
+) -> Union[BinarySom, KohonenSom, SomClassifier]:
+    """Materialise a fresh live model from a snapshot.
+
+    Returns the bare map for map snapshots and a
+    :class:`~repro.core.classifier.SomClassifier` (with its labelling and
+    rejection state restored) for classifier snapshots.  The map's
+    weights-version counter and distance-backend selection are restored
+    when the snapshot recorded them (format v2).
+    """
+    codec = SOM_CODECS.codec_for_kind(snapshot.kind)
+    if codec is None:
+        raise DataError(
+            f"unknown model kind {snapshot.kind!r} in snapshot; "
+            f"registered kinds: {', '.join(SOM_CODECS.kinds())}"
+        )
+    som = codec.decode(snapshot)
+    if snapshot.weights_version is not None:
+        som._restore_weights_version(snapshot.weights_version)
+    if not snapshot.classifier:
+        return som
+    classifier = SomClassifier(
+        som,
+        rejection_percentile=snapshot.rejection_percentile,
+        rejection_margin=snapshot.rejection_margin,
+    )
+    classifier.rejection_threshold = snapshot.rejection_threshold
+    if snapshot.labelling is not None:
+        classifier.labelling = LabelledMap(
+            node_labels=snapshot.labelling.node_labels.copy(),
+            win_frequencies=snapshot.labelling.win_frequencies.copy(),
+            labels=snapshot.labelling.labels.copy(),
+        )
+    return classifier
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot <-> .npz archive
+# --------------------------------------------------------------------------- #
+def save_model(
+    model: Union[ModelSnapshot, BinarySom, KohonenSom, SomClassifier],
+    path: PathLike,
+) -> Path:
+    """Serialise ``model`` to ``path`` (``.npz``, format v2); return the path.
+
+    Accepts a bare map, a (fitted or unfitted) :class:`SomClassifier`, or a
+    :class:`ModelSnapshot` -- everything is first frozen into a snapshot,
+    which is what the archive actually stores.
+    """
+    snapshot = snapshot_model(model)
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
 
-    arrays: dict[str, np.ndarray] = {}
-    header: dict = {"format_version": _FORMAT_VERSION}
-
-    if isinstance(model, SomClassifier):
-        header["model"] = "SomClassifier"
-        header["rejection_percentile"] = model.rejection_percentile
-        header["rejection_margin"] = model.rejection_margin
-        header["rejection_threshold"] = model.rejection_threshold
-        if model.labelling is not None:
-            arrays["node_labels"] = model.labelling.node_labels
-            arrays["win_frequencies"] = model.labelling.win_frequencies
-            arrays["labels"] = model.labelling.labels
-        inner = model.som
-    else:
-        inner = model
-
-    if isinstance(inner, BinarySom):
-        header["som"] = "BinarySom"
-        header["n_neurons"] = inner.n_neurons
-        header["n_bits"] = inner.n_bits
-        header["topology"] = _topology_config(inner.topology)
-        header["schedule"] = _schedule_config(inner.schedule)
-        header["update_rule"] = {
-            "winner_rule": inner.update_rule.winner_rule,
-            "neighbour_rule": inner.update_rule.neighbour_rule,
-            "neighbour_strength": inner.update_rule.neighbour_strength,
+    header: dict[str, Any] = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "kind": snapshot.kind,
+        "n_neurons": snapshot.n_neurons,
+        "n_bits": snapshot.n_bits,
+        "topology": dict(snapshot.topology),
+        "schedule": dict(snapshot.schedule),
+        "config": dict(snapshot.config),
+        "weights_version": snapshot.weights_version,
+        "backend": snapshot.backend,
+        "classifier": snapshot.classifier,
+        "metadata": dict(snapshot.metadata),
+    }
+    arrays: dict[str, np.ndarray] = {"weights": np.asarray(snapshot.weights)}
+    if snapshot.classifier:
+        header["rejection"] = {
+            "percentile": snapshot.rejection_percentile,
+            "margin": snapshot.rejection_margin,
+            "threshold": snapshot.rejection_threshold,
         }
-        arrays["weights"] = inner.weights.values
-    elif isinstance(inner, KohonenSom):
-        header["som"] = "KohonenSom"
-        header["n_neurons"] = inner.n_neurons
-        header["n_bits"] = inner.n_bits
-        header["topology"] = _topology_config(inner.topology)
-        header["schedule"] = _schedule_config(inner.schedule)
-        header["learning_rate"] = {
-            "initial": inner.learning_rate.initial,
-            "final": inner.learning_rate.final,
-        }
-        header["neighbour_decay"] = inner.neighbour_decay
-        arrays["weights"] = inner.weights
-    else:
-        raise DataError(f"cannot serialise model of type {type(inner).__name__}")
+        if snapshot.labelling is not None:
+            arrays["node_labels"] = np.asarray(snapshot.labelling.node_labels)
+            arrays["win_frequencies"] = np.asarray(
+                snapshot.labelling.win_frequencies
+            )
+            arrays["labels"] = np.asarray(snapshot.labelling.labels)
 
     arrays["header"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
@@ -134,58 +458,103 @@ def save_model(model: Union[BinarySom, KohonenSom, SomClassifier], path: PathLik
     return path
 
 
-def _rebuild_som(header: dict, weights: np.ndarray):
-    topology = _topology_from_config(header["topology"])
-    schedule = _schedule_from_config(header["schedule"])
-    if header["som"] == "BinarySom":
-        som = BinarySom(
-            header["n_neurons"],
-            header["n_bits"],
-            topology=topology,
-            schedule=schedule,
-            update_rule=BsomUpdateRule(**header["update_rule"]),
+def _snapshot_from_v2(header: dict, archive) -> ModelSnapshot:
+    labelling = None
+    if "node_labels" in archive:
+        labelling = SnapshotLabelling(
+            node_labels=archive["node_labels"],
+            win_frequencies=archive["win_frequencies"],
+            labels=archive["labels"],
         )
-        som.set_weights(weights.astype(np.int8))
-        return som
-    if header["som"] == "KohonenSom":
-        som = KohonenSom(
-            header["n_neurons"],
-            header["n_bits"],
-            topology=topology,
-            schedule=schedule,
-            learning_rate=LearningRateSchedule(**header["learning_rate"]),
-            neighbour_decay=header["neighbour_decay"],
-        )
-        som.set_weights(weights)
-        return som
-    raise DataError(f"unknown SOM type {header['som']!r} in saved model")
+    rejection = header.get("rejection") or {}
+    return ModelSnapshot(
+        kind=header["kind"],
+        n_neurons=header["n_neurons"],
+        n_bits=header["n_bits"],
+        weights=archive["weights"],
+        topology=header["topology"],
+        schedule=header["schedule"],
+        config=header["config"],
+        weights_version=header.get("weights_version"),
+        backend=header.get("backend"),
+        classifier=bool(header.get("classifier")),
+        rejection_percentile=rejection.get("percentile"),
+        rejection_margin=rejection.get("margin", 1.0),
+        rejection_threshold=rejection.get("threshold"),
+        labelling=labelling,
+        format_version=2,
+        metadata=header.get("metadata") or {},
+    )
 
 
-def load_model(path: PathLike) -> Union[BinarySom, KohonenSom, SomClassifier]:
-    """Load a model previously written by :func:`save_model`."""
+def _snapshot_from_v1(header: dict, archive) -> ModelSnapshot:
+    """Translate a legacy (format-v1) archive into a snapshot.
+
+    v1 recorded neither the backend nor the weights version; both come back
+    as ``None`` and :func:`build_model` leaves the loaded map's defaults in
+    force.
+    """
+    kind = header["som"]
+    if kind == "BinarySom":
+        config = {"update_rule": header["update_rule"]}
+    elif kind == "KohonenSom":
+        config = {
+            "learning_rate": header["learning_rate"],
+            "neighbour_decay": header["neighbour_decay"],
+        }
+    else:
+        raise DataError(f"unknown SOM type {kind!r} in saved model")
+
+    labelling = None
+    if "node_labels" in archive:
+        labelling = SnapshotLabelling(
+            node_labels=archive["node_labels"],
+            win_frequencies=archive["win_frequencies"],
+            labels=archive["labels"],
+        )
+    classifier = header.get("model") == "SomClassifier"
+    return ModelSnapshot(
+        kind=kind,
+        n_neurons=header["n_neurons"],
+        n_bits=header["n_bits"],
+        weights=archive["weights"],
+        topology=header["topology"],
+        schedule=header["schedule"],
+        config=config,
+        weights_version=None,
+        backend=None,
+        classifier=classifier,
+        rejection_percentile=header.get("rejection_percentile"),
+        rejection_margin=header.get("rejection_margin", 1.0),
+        rejection_threshold=header.get("rejection_threshold"),
+        labelling=labelling,
+        format_version=1,
+        metadata={},
+    )
+
+
+def load_snapshot(path: PathLike) -> ModelSnapshot:
+    """Read a ``.npz`` archive (format v1 or v2) into a :class:`ModelSnapshot`."""
     path = Path(path)
     if not path.exists():
         raise DataError(f"model file {path} does not exist")
     with np.load(path, allow_pickle=False) as archive:
         header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
-        if header.get("format_version") != _FORMAT_VERSION:
-            raise DataError(
-                f"unsupported model format version {header.get('format_version')!r}"
-            )
-        weights = archive["weights"]
-        som = _rebuild_som(header, weights)
-        if header.get("model") != "SomClassifier":
-            return som
-        classifier = SomClassifier(
-            som,
-            rejection_percentile=header.get("rejection_percentile"),
-            rejection_margin=header.get("rejection_margin", 1.0),
-        )
-        classifier.rejection_threshold = header.get("rejection_threshold")
-        if "node_labels" in archive:
-            classifier.labelling = LabelledMap(
-                node_labels=archive["node_labels"],
-                win_frequencies=archive["win_frequencies"],
-                labels=archive["labels"],
-            )
-        return classifier
+        version = header.get("format_version")
+        if version == 2:
+            return _snapshot_from_v2(header, archive)
+        if version == 1:
+            return _snapshot_from_v1(header, archive)
+        raise DataError(f"unsupported model format version {version!r}")
+
+
+def load_model(path: PathLike) -> Union[BinarySom, KohonenSom, SomClassifier]:
+    """Load a live model previously written by :func:`save_model`.
+
+    Reads both format v2 and legacy v1 archives.  Prefer
+    :func:`load_snapshot` (or :func:`repro.api.load`) when the model is
+    headed for the serving registry -- the snapshot is the currency
+    :meth:`repro.serve.ModelRegistry.register` and
+    :meth:`~repro.serve.ModelRegistry.swap` accept directly.
+    """
+    return build_model(load_snapshot(path))

@@ -1,0 +1,193 @@
+"""The immutable :class:`ModelSnapshot` -- the unit that ships to serving.
+
+The paper's deployment story is train-offline / serve-from-BlockRAM: what
+moves from the training PC to the FPGA is a frozen bundle of weights, node
+labels and the rejection threshold.  :class:`ModelSnapshot` is the software
+equivalent and the *single currency* of the model lifecycle:
+
+* training produces one (:func:`repro.api.train` + :func:`repro.api.snapshot`),
+* persistence writes and reads one (:func:`repro.core.serialization.save_model`
+  and :func:`~repro.core.serialization.load_snapshot` -- the ``.npz`` format
+  v2 is just a snapshot on disk),
+* serving consumes one (:meth:`repro.serve.ModelRegistry.register` /
+  :meth:`~repro.serve.ModelRegistry.swap` accept snapshots directly), and
+* the on-line learner emits one after each map update
+  (:meth:`repro.pipeline.OnlineLearner.snapshot`) so a freshly learned
+  object can be hot-swapped into the registry without dropping requests.
+
+A snapshot is deliberately *dead data*: plain arrays and config mappings,
+no live SOM, no threads, no operand caches.  Arrays are defensively copied
+and marked read-only, so a snapshot taken before an on-line update is not
+silently mutated by it -- reflashing semantics, not shared-pointer
+semantics.  :meth:`ModelSnapshot.to_model` / :meth:`~ModelSnapshot.to_classifier`
+materialise a fresh, independent live model on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import DataError
+
+#: Current on-disk format version written by the v2 codec layer.
+SNAPSHOT_FORMAT_VERSION = 2
+
+
+def _frozen_array(values: np.ndarray) -> np.ndarray:
+    frozen = np.array(values, copy=True)
+    frozen.setflags(write=False)
+    return frozen
+
+
+@dataclass(frozen=True)
+class SnapshotLabelling:
+    """Frozen copy of a :class:`~repro.core.labelling.LabelledMap`'s arrays."""
+
+    node_labels: np.ndarray
+    win_frequencies: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "node_labels", _frozen_array(self.node_labels))
+        object.__setattr__(
+            self, "win_frequencies", _frozen_array(self.win_frequencies)
+        )
+        object.__setattr__(self, "labels", _frozen_array(self.labels))
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """Immutable, self-describing state of a (possibly fitted) model.
+
+    Attributes
+    ----------
+    kind:
+        Registered SOM codec kind (``"BinarySom"`` or ``"KohonenSom"``; new
+        map types join by registering a codec with
+        :func:`repro.core.serialization.register_som_codec`).
+    n_neurons, n_bits:
+        Map shape.
+    weights:
+        Read-only copy of the weight matrix (``int8`` tri-state for the
+        bSOM, ``float64`` for the cSOM).
+    topology, schedule:
+        Codec-encoded topology / neighbourhood-schedule configuration
+        (``{"kind": ..., ...}`` mappings).
+    config:
+        SOM-kind-specific extra configuration (the bSOM's update rule, the
+        cSOM's learning-rate schedule and neighbour decay).
+    weights_version:
+        The map's monotonic weights-version counter at snapshot time;
+        restored on :meth:`to_model` so operand-cache bookkeeping and
+        telemetry survive a save/load round-trip.  ``None`` for snapshots
+        read from format-v1 archives, which did not record it.
+    backend:
+        Distance-backend name in force at snapshot time (``"packed"``,
+        ``"gemm"``, ``"hybrid"``, ...); restored on :meth:`to_model`.
+        ``None`` when the map has no pluggable backend (cSOM) or the
+        snapshot predates format v2.
+    classifier:
+        Whether the snapshot carries classifier state (rejection config and
+        possibly a labelling) on top of the bare map.
+    rejection_percentile, rejection_margin, rejection_threshold:
+        The classifier's rejection configuration (meaningful only when
+        :attr:`classifier` is true).
+    labelling:
+        Frozen node-labelling arrays, or ``None`` for an unfitted
+        classifier or a bare map.
+    format_version:
+        On-disk format version this snapshot was read from (or will be
+        written as): 2 for snapshots taken in-process, 1 for legacy
+        archives.
+    metadata:
+        Free-form string-keyed annotations carried through save/load
+        (provenance, training-data notes, ...).
+    """
+
+    kind: str
+    n_neurons: int
+    n_bits: int
+    weights: np.ndarray
+    topology: Mapping[str, Any]
+    schedule: Mapping[str, Any]
+    config: Mapping[str, Any] = field(default_factory=dict)
+    weights_version: Optional[int] = None
+    backend: Optional[str] = None
+    classifier: bool = False
+    rejection_percentile: Optional[float] = None
+    rejection_margin: float = 1.0
+    rejection_threshold: Optional[float] = None
+    labelling: Optional[SnapshotLabelling] = None
+    format_version: int = SNAPSHOT_FORMAT_VERSION
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", _frozen_array(self.weights))
+        object.__setattr__(self, "topology", dict(self.topology))
+        object.__setattr__(self, "schedule", dict(self.schedule))
+        object.__setattr__(self, "config", dict(self.config))
+        object.__setattr__(self, "metadata", dict(self.metadata))
+        if self.weights.shape != (self.n_neurons, self.n_bits):
+            raise DataError(
+                f"snapshot weights of shape {self.weights.shape} do not match "
+                f"{self.n_neurons} neurons of {self.n_bits} bits"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the snapshot can serve (classifier with a labelling)."""
+        return self.classifier and self.labelling is not None
+
+    # ------------------------------------------------------------------ #
+    # Conversions (delegated to the codec layer in core.serialization)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def of(cls, model, *, metadata: Optional[Mapping[str, Any]] = None) -> "ModelSnapshot":
+        """Snapshot a live model (map or classifier); snapshots pass through."""
+        from repro.core.serialization import snapshot_model
+
+        return snapshot_model(model, metadata=metadata)
+
+    def to_model(self):
+        """Materialise a fresh live model (classifier if one was captured)."""
+        from repro.core.serialization import build_model
+
+        return build_model(self)
+
+    def to_classifier(self):
+        """Materialise a fresh :class:`~repro.core.classifier.SomClassifier`.
+
+        Raises :class:`~repro.errors.DataError` when the snapshot holds a
+        bare map -- serving requires the classifier state.
+        """
+        from repro.core.classifier import SomClassifier
+        from repro.core.serialization import build_model
+
+        if not self.classifier:
+            raise DataError(
+                f"snapshot holds a bare {self.kind}, not a classifier; snapshot "
+                "the fitted SomClassifier, not just its map"
+            )
+        model = build_model(self)
+        assert isinstance(model, SomClassifier)
+        return model
+
+    def save(self, path) -> "Path":  # noqa: F821 - forward ref for docs
+        """Write this snapshot to ``path`` as a format-v2 ``.npz`` archive."""
+        from repro.core.serialization import save_model
+
+        return save_model(self, path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fitted = "fitted" if self.is_fitted else ("classifier" if self.classifier else "map")
+        return (
+            f"ModelSnapshot({self.kind}, {self.n_neurons}x{self.n_bits}, {fitted}, "
+            f"backend={self.backend!r}, weights_version={self.weights_version}, "
+            f"v{self.format_version})"
+        )

@@ -215,6 +215,15 @@ class SelfOrganisingMap(ABC):
         self._weights_version += 1
         return self._weights_version
 
+    def _restore_weights_version(self, version: int) -> None:
+        """Reset the counter to a persisted value (snapshot/archive restore).
+
+        Only the serialization layer should call this, immediately after
+        ``set_weights`` -- the operand caches were invalidated by that call,
+        so re-pinning the counter cannot resurrect stale operands.
+        """
+        self._weights_version = int(version)
+
     # ------------------------------------------------------------------ #
     # Utilities
     # ------------------------------------------------------------------ #

@@ -79,11 +79,36 @@ class UnknownModelError(ServiceError):
     can report a useful error to the camera stream that sent the request.
     """
 
-    def __init__(self, name: str, available: tuple[str, ...] = ()):
+    def __init__(
+        self, name: str, available: tuple[str, ...] = (), message: str | None = None
+    ):
         self.name = name
         self.available = tuple(available)
         known = ", ".join(sorted(self.available)) or "none"
-        super().__init__(f"no model named {name!r} is registered (available: {known})")
+        super().__init__(
+            message or f"no model named {name!r} is registered (available: {known})"
+        )
+
+
+class ModelEvictedError(UnknownModelError):
+    """The model serving a queued request was evicted before its batch ran.
+
+    Delivered to every future still queued behind an evicted model, so a
+    caller waiting on ``result()`` gets a clear, catchable answer instead of
+    hanging until its timeout.  Derives from :class:`UnknownModelError`
+    because by the time the caller sees it, the name really is unknown.
+    """
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        known = ", ".join(sorted(tuple(available))) or "none"
+        super().__init__(
+            name,
+            available,
+            message=(
+                f"model {name!r} was evicted while requests were still queued "
+                f"(available: {known})"
+            ),
+        )
 
 
 class ServiceOverloadedError(ServiceError):

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.classifier import SomClassifier, UNKNOWN_LABEL
 from repro.core.labelling import NodeLabeller
 from repro.core.novelty import NoveltyDetector, calibrate_rejection_threshold
+from repro.core.snapshot import ModelSnapshot
 from repro.errors import ConfigurationError, NotFittedError
 
 
@@ -220,6 +221,26 @@ class OnlineLearner:
             )
         )
         return new_label
+
+    # ------------------------------------------------------------------ #
+    # Publishing to a serving registry
+    # ------------------------------------------------------------------ #
+    def snapshot(self, *, metadata: Optional[dict] = None) -> ModelSnapshot:
+        """Freeze the learner's current classifier as a :class:`ModelSnapshot`.
+
+        This closes the loop the paper's conclusion sketches: once the
+        on-line update has folded a new object into the map, the learner
+        emits an immutable snapshot that a serving deployment hot-swaps in
+        (:meth:`repro.serve.StreamingInferenceService.swap_model` /
+        :func:`repro.api.swap`) without dropping queued requests.  The
+        snapshot records the on-line update history in its metadata.
+        """
+        annotations = {
+            "online_updates": str(len(self.updates)),
+            "known_labels": str(int(self.known_labels.size)),
+        }
+        annotations.update(metadata or {})
+        return ModelSnapshot.of(self.classifier, metadata=annotations)
 
     # ------------------------------------------------------------------ #
     # Introspection

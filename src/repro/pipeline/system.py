@@ -34,6 +34,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.classifier import SomClassifier, UNKNOWN_LABEL
+from repro.core.snapshot import ModelSnapshot
 from repro.errors import (
     ConfigurationError,
     NotFittedError,
@@ -155,7 +156,11 @@ class RecognitionSystem:
     classifier:
         A fitted :class:`~repro.core.classifier.SomClassifier` (its SOM may
         be the software bSOM, the cSOM baseline, or the FPGA model wrapped
-        through :meth:`repro.hw.fpga_bsom.FpgaBsomDesign.to_software`).
+        through :meth:`repro.hw.fpga_bsom.FpgaBsomDesign.to_software`), or a
+        fitted :class:`~repro.core.snapshot.ModelSnapshot` -- the lifecycle
+        currency -- which is materialised into a private classifier here
+        (the deployment pattern: cameras consume the same frozen snapshot
+        the registry serves).
     config:
         Pipeline configuration.
     strategy:
@@ -164,10 +169,12 @@ class RecognitionSystem:
 
     def __init__(
         self,
-        classifier: SomClassifier,
+        classifier: SomClassifier | ModelSnapshot,
         config: RecognitionSystemConfig | None = None,
         strategy: ThresholdStrategy | None = None,
     ):
+        if isinstance(classifier, ModelSnapshot):
+            classifier = classifier.to_classifier()
         if classifier.labelling is None:
             raise NotFittedError(
                 "the classifier must be fitted (or labelled) before building the "

@@ -13,29 +13,34 @@ moving parts, front to back:
   repeated silhouettes skip the SOM entirely,
 * :mod:`repro.serve.shard` -- thread-backed worker shards with
   round-robin / least-loaded routing and bounded queues,
-* :mod:`repro.serve.registry` -- named classifier snapshots (loadable via
-  :mod:`repro.core.serialization`) each behind its own shard group,
+* :mod:`repro.serve.registry` -- named model snapshots
+  (:class:`~repro.core.snapshot.ModelSnapshot` or fitted classifiers),
+  each behind its own shard group, with zero-drop hot-reload
+  (:meth:`ModelRegistry.swap`) and fail-fast eviction,
 * :mod:`repro.serve.metrics` -- latency percentiles, batch fill, cache
-  hit-rate and queue-depth telemetry,
+  hit-rate, dedup fan-out, swap and queue-depth telemetry,
 * :mod:`repro.serve.service` -- the front-end wiring it all together with
-  backpressure, and
+  backpressure and cross-request deduplication of identical in-flight
+  signatures, and
 * :mod:`repro.serve.streams` -- simulated camera streams for load tests,
   demos and benchmarks.
 
-Quick start
------------
+Quick start (see :mod:`repro.api` for the full lifecycle facade)
+----------------------------------------------------------------
 >>> from repro.serve import ServiceConfig, StreamingInferenceService
 >>> service = StreamingInferenceService(config=ServiceConfig(batch_size=16))
 >>> service.register_model("hall", fitted_classifier)       # doctest: +SKIP
 >>> with service:                                           # doctest: +SKIP
 ...     future = service.submit(signature, model="hall", stream_id="cam-0")
 ...     response = future.result()
+...     service.swap_model("hall", new_snapshot)  # zero-drop hot-reload
 """
 
+from repro.errors import ModelEvictedError, UnknownModelError
 from repro.serve.batching import MicroBatch, MicroBatchScheduler
 from repro.serve.cache import CachedOutcome, SignatureLruCache
 from repro.serve.metrics import MetricsSnapshot, ServiceMetrics
-from repro.serve.registry import ModelRegistry
+from repro.serve.registry import ModelRegistry, ModelSource
 from repro.serve.request import (
     ClassificationRequest,
     ClassificationResponse,
@@ -53,6 +58,9 @@ __all__ = [
     "MetricsSnapshot",
     "ServiceMetrics",
     "ModelRegistry",
+    "ModelSource",
+    "ModelEvictedError",
+    "UnknownModelError",
     "ClassificationRequest",
     "ClassificationResponse",
     "PendingResult",

@@ -126,6 +126,19 @@ class MicroBatchScheduler:
                 if self._lanes[model]
             ]
 
+    def cut_lane(self, model: str) -> Optional[MicroBatch]:
+        """Cut one model's lane immediately (empty lane returns ``None``).
+
+        Model eviction uses this to pull the evicted model's buffered
+        requests out of the scheduler so their futures can be failed
+        promptly instead of waiting for the deadline flush to discover the
+        name no longer routes.
+        """
+        with self._lock:
+            if self._lanes.get(model):
+                return self._cut(model, "drain")
+        return None
+
     def _cut(self, model: str, reason: str) -> MicroBatch:
         # Caller holds the lock.
         requests = tuple(self._lanes[model])

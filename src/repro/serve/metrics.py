@@ -38,6 +38,13 @@ class MetricsSnapshot:
         Requests resolved with a classification.
     cache_hits, cache_misses, cache_hit_rate:
         Signature-cache effectiveness.
+    dedup_hits:
+        Requests answered by fanning out another identical in-flight
+        request's kernel execution (cross-request deduplication).  Counted
+        separately from cache hits: the cache answers *completed*
+        signatures, dedup coalesces *concurrent* ones.
+    model_swaps:
+        Hot-swaps (:meth:`StreamingInferenceService.swap_model`) performed.
     backpressure_rejections:
         Requests refused because queues were saturated.
     batches_total:
@@ -57,6 +64,8 @@ class MetricsSnapshot:
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
+    dedup_hits: int
+    model_swaps: int
     backpressure_rejections: int
     batches_total: int
     mean_batch_fill: float
@@ -89,6 +98,8 @@ class ServiceMetrics:
         self.responses_total = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.dedup_hits = 0
+        self.model_swaps = 0
         self.backpressure_rejections = 0
         self.batches_total = 0
         self._fill_sum = 0.0
@@ -124,6 +135,16 @@ class ServiceMetrics:
         with self._lock:
             lookups = self.cache_hits + self.cache_misses
             return self.cache_hits / lookups if lookups else 0.0
+
+    def record_dedup(self, count: int = 1) -> None:
+        """Count requests coalesced onto an identical in-flight signature."""
+        with self._lock:
+            self.dedup_hits += int(count)
+
+    def record_swap(self) -> None:
+        """Count one zero-drop model hot-swap."""
+        with self._lock:
+            self.model_swaps += 1
 
     def record_backpressure(self, count: int = 1) -> None:
         """Count refused requests (a shed batch refuses all its members)."""
@@ -162,6 +183,8 @@ class ServiceMetrics:
                 cache_hits=self.cache_hits,
                 cache_misses=self.cache_misses,
                 cache_hit_rate=self.cache_hits / lookups if lookups else 0.0,
+                dedup_hits=self.dedup_hits,
+                model_swaps=self.model_swaps,
                 backpressure_rejections=self.backpressure_rejections,
                 batches_total=self.batches_total,
                 mean_batch_fill=(

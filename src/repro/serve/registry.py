@@ -1,14 +1,23 @@
 """The sharded model registry: named classifier snapshots behind shards.
 
 The paper's deployment flow trains the map off-line and ships the frozen
-weights to the FPGA; :mod:`repro.core.serialization` reproduces that as
-``.npz`` snapshots.  The registry is the serving-side half of the story: it
-loads named snapshots (or accepts already-fitted classifiers), stands up a
+weights to the FPGA; :class:`~repro.core.snapshot.ModelSnapshot` (and its
+``.npz`` form, :mod:`repro.core.serialization`) reproduces that unit.  The
+registry is the serving-side half of the story: it accepts named snapshots
+(or already-fitted classifiers), stands up a
 :class:`~repro.serve.shard.ShardGroup` of worker threads for each, and
 routes micro-batches to them.  Several cameras can thus be served by
 different map generations side by side -- e.g. ``"hall-v1"`` still serving
-while ``"hall-v2"`` warms up -- and evicting a name tears its shards down
-cleanly.
+while ``"hall-v2"`` warms up.
+
+Two lifecycle operations keep futures honest:
+
+* :meth:`ModelRegistry.swap` hot-reloads a name in place -- the software
+  "reflash": shards flip to the new (operand-pre-warmed) classifier at a
+  micro-batch boundary, so a swap under load drops and fails nothing, and
+* :meth:`ModelRegistry.evict` tears a name down, failing any still-queued
+  batches with :class:`~repro.errors.ModelEvictedError` instead of leaving
+  their futures to hang.
 
 The registry works standalone (futures are resolved directly by a default
 completion path) or bound to a :class:`~repro.serve.service.StreamingInferenceService`,
@@ -19,14 +28,23 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.core.classifier import BatchPrediction, SomClassifier
 from repro.core.serialization import PathLike, load_model
-from repro.errors import ConfigurationError, DataError, UnknownModelError
+from repro.core.snapshot import ModelSnapshot
+from repro.errors import (
+    ConfigurationError,
+    DataError,
+    ModelEvictedError,
+    UnknownModelError,
+)
 from repro.serve.batching import MicroBatch
 from repro.serve.request import resolve_requests
 from repro.serve.shard import ShardGroup, WorkerShard
+
+#: What the registration/swap entry points accept as a model.
+ModelSource = Union[SomClassifier, ModelSnapshot]
 
 
 class ModelRegistry:
@@ -70,6 +88,7 @@ class ModelRegistry:
         self._failure: Optional[
             Callable[[WorkerShard, MicroBatch, BaseException], None]
         ] = None
+        self._retired: Optional[Callable[[str], None]] = None
 
     # ------------------------------------------------------------------ #
     # Completion binding
@@ -86,11 +105,23 @@ class ModelRegistry:
         failure: Optional[
             Callable[[WorkerShard, MicroBatch, BaseException], None]
         ] = None,
+        retired: Optional[Callable[[str], None]] = None,
     ) -> None:
-        """Replace the completion/failure paths (the service adds cache,
-        metrics and pending-budget accounting)."""
+        """Replace the completion/failure/retired paths (the service adds
+        cache, metrics and pending-budget accounting).
+
+        ``retired(name)`` fires after :meth:`swap` or :meth:`evict` has
+        displaced a model's classifier, so a bound service can invalidate
+        its memoised outcomes even when the lifecycle call went straight to
+        the registry rather than through the service's own entry points.
+        """
         self._completion = completion
         self._failure = failure
+        self._retired = retired
+
+    def _dispatch_retired(self, name: str) -> None:
+        if self._retired is not None:
+            self._retired(name)
 
     def _dispatch_completion(
         self, shard: WorkerShard, batch: MicroBatch, prediction: BatchPrediction
@@ -110,14 +141,46 @@ class ModelRegistry:
     # ------------------------------------------------------------------ #
     # Registration and loading
     # ------------------------------------------------------------------ #
-    def register(self, name: str, classifier: SomClassifier) -> ShardGroup:
-        """Register a fitted classifier under ``name`` and build its shards."""
-        if not name:
-            raise ConfigurationError("model name must be a non-empty string")
-        if classifier.labelling is None:
+    @staticmethod
+    def _materialise(name: str, model: ModelSource) -> SomClassifier:
+        """Coerce a snapshot (or classifier) into a serveable classifier."""
+        if isinstance(model, ModelSnapshot):
+            model = model.to_classifier()
+        if not isinstance(model, SomClassifier):
+            raise DataError(
+                f"model {name!r} must be a SomClassifier or ModelSnapshot, got "
+                f"{type(model).__name__}"
+            )
+        if model.labelling is None:
             raise DataError(
                 f"model {name!r} must be fitted (or labelled) before it can serve"
             )
+        return model
+
+    def _prepare_for_serving(self, classifier: SomClassifier) -> SomClassifier:
+        """Apply the registry's backend choice and pre-warm the operands.
+
+        Shared by :meth:`register` and :meth:`swap` so neither path pays
+        the operand-preparation cost inside a worker's critical path: the
+        first micro-batch of a fresh registration and the first post-swap
+        batch both score against already-prepared kernels.
+        """
+        if self.backend is not None and hasattr(classifier.som, "set_backend"):
+            classifier.som.set_backend(self.backend)
+        if hasattr(classifier.som, "warm_operands"):
+            classifier.som.warm_operands()
+        return classifier
+
+    def register(self, name: str, model: ModelSource) -> ShardGroup:
+        """Register a model under ``name`` and build its shards.
+
+        Accepts a fitted :class:`SomClassifier` or a fitted
+        :class:`~repro.core.snapshot.ModelSnapshot` (the lifecycle
+        currency; materialised into a fresh classifier here).
+        """
+        if not name:
+            raise ConfigurationError("model name must be a non-empty string")
+        classifier = self._prepare_for_serving(self._materialise(name, model))
         with self._lock:
             if name in self._groups:
                 raise ConfigurationError(f"a model named {name!r} is already registered")
@@ -129,7 +192,8 @@ class ModelRegistry:
                 n_shards=self.n_shards,
                 policy=self.policy,
                 queue_capacity=self.queue_capacity,
-                backend=self.backend,
+                # Backend selection and operand warm-up already applied above.
+                backend=None,
             )
             self._groups[name] = group
             self._classifiers[name] = classifier
@@ -148,14 +212,66 @@ class ModelRegistry:
         self.register(name, model)
         return model
 
+    def swap(self, name: str, model: ModelSource) -> SomClassifier:
+        """Hot-reload ``name`` with a new model; return the previous classifier.
+
+        The software equivalent of reflashing the FPGA without power-cycling
+        the camera: the shard group stays up, its queues are untouched, and
+        every shard flips to the new classifier at a micro-batch boundary --
+        a swap issued while requests are queued completes with zero dropped
+        or failed futures.  The new model's distance operands are prepared
+        *before* the flip, so the first post-swap batch pays no warm-up.
+
+        Accepts a fitted classifier or :class:`ModelSnapshot`.  The new
+        model must consume the same signature width as the old one
+        (queued requests were packed for that width); the neuron count may
+        change freely.
+        """
+        classifier = self._materialise(name, model)
+        current = self.classifier(name)  # raises UnknownModelError
+        if classifier.som.n_bits != current.som.n_bits:
+            raise ConfigurationError(
+                f"cannot swap model {name!r}: queued requests carry "
+                f"{current.som.n_bits}-bit signatures but the new model expects "
+                f"{classifier.som.n_bits} bits"
+            )
+        self._prepare_for_serving(classifier)
+        with self._lock:
+            group = self._groups.get(name)
+            if group is None:
+                raise UnknownModelError(name, tuple(self._groups))
+            previous = self._classifiers[name]
+            self._classifiers[name] = classifier
+            group.swap_classifier(classifier)
+        self._dispatch_retired(name)
+        return previous
+
     def evict(self, name: str) -> SomClassifier:
-        """Unregister ``name``, stop its shards, and return its classifier."""
+        """Unregister ``name``, stop its shards, and return its classifier.
+
+        Batches still queued behind the evicted model are failed promptly
+        with :class:`~repro.errors.ModelEvictedError` (an
+        :class:`~repro.errors.UnknownModelError`), so every submitted
+        future completes -- either with the classification the worker had
+        already pulled, or with the eviction error.  Nothing is left to
+        hang until a caller's timeout.
+        """
         with self._lock:
             group = self._groups.pop(name, None)
             if group is None:
                 raise UnknownModelError(name, tuple(self._groups))
             classifier = self._classifiers.pop(name)
+            remaining = tuple(self._groups)
+        error = ModelEvictedError(name, remaining)
+        # First pass: fail what is queued right now (covers never-started
+        # shards, whose queues would otherwise strand their futures).
+        group.cancel_queued(error)
         group.stop()
+        # Second pass: anything that raced in between the cancel and the
+        # worker shutdown (the name is already unrouteable, but a caller
+        # holding a direct group reference could still have submitted).
+        group.cancel_queued(error)
+        self._dispatch_retired(name)
         return classifier
 
     # ------------------------------------------------------------------ #

@@ -49,6 +49,10 @@ class ClassificationResponse:
         SOM was never consulted.
     latency_s:
         Submit-to-resolve wall-clock latency in seconds.
+    deduplicated:
+        ``True`` when the answer was fanned out from another in-flight
+        request with an identical packed signature -- the SOM executed one
+        kernel for the whole group and this response rode along.
     """
 
     label: int
@@ -61,6 +65,7 @@ class ClassificationResponse:
     request_id: int
     cached: bool
     latency_s: float
+    deduplicated: bool = False
 
 
 class PendingResult:
@@ -112,6 +117,13 @@ class ClassificationRequest:
     bytes).  Shards score an all-packed batch straight against the bSOM's
     cached bit-planes without re-packing or re-validating; ``signature``
     is retained for models without a packed query path.
+
+    ``generation`` stamps the model generation current at submit time (the
+    service bumps it on every hot-swap/evict) so the completion path never
+    memoises a prediction that might predate a swap.  ``followers`` holds
+    deduplicated requests with an identical in-flight packed signature:
+    they never reach a shard; the one kernel execution of this (primary)
+    request resolves them all.
     """
 
     signature: np.ndarray
@@ -122,6 +134,8 @@ class ClassificationRequest:
     enqueued_at: float
     packed: Optional[np.ndarray] = None
     pending: PendingResult = field(default_factory=PendingResult)
+    generation: int = 0
+    followers: list["ClassificationRequest"] = field(default_factory=list)
 
 
 def resolve_requests(requests, prediction, *, clock) -> list[ClassificationResponse]:
@@ -149,3 +163,30 @@ def resolve_requests(requests, prediction, *, clock) -> list[ClassificationRespo
         request.pending.set_result(response)
         responses.append(response)
     return responses
+
+
+def resolve_follower(
+    follower: ClassificationRequest, response: ClassificationResponse, *, clock
+) -> ClassificationResponse:
+    """Fan one resolved (primary) response out to a deduplicated follower.
+
+    The classification fields are shared -- one kernel execution answered
+    the whole group -- but identity and latency are per-request, and the
+    response is marked ``deduplicated`` so telemetry and tests can see the
+    fan-out.
+    """
+    fanned = ClassificationResponse(
+        label=response.label,
+        neuron=response.neuron,
+        distance=response.distance,
+        rejected=response.rejected,
+        confidence=response.confidence,
+        model=follower.model,
+        stream_id=follower.stream_id,
+        request_id=follower.request_id,
+        cached=False,
+        latency_s=max(0.0, clock() - follower.enqueued_at),
+        deduplicated=True,
+    )
+    follower.pending.set_result(fanned)
+    return fanned

@@ -5,14 +5,25 @@ talks to.  Per request it:
 
 1. checks the signature LRU cache (packed-signature key) and answers
    immediately on a hit -- a repeated silhouette never touches the SOM,
-2. otherwise admits the request against a service-wide pending budget
+2. coalesces the request onto an identical *in-flight* packed signature
+   when one exists (cross-request deduplication: one kernel execution fans
+   out to every waiting future, counted as ``dedup_hits``),
+3. otherwise admits the request against a service-wide pending budget
    (raising :class:`~repro.errors.ServiceOverloadedError` when saturated --
    backpressure instead of unbounded queues),
-3. hands it to the micro-batching scheduler, which cuts size- or
+4. hands it to the micro-batching scheduler, which cuts size- or
    deadline-bounded batches per model, and
-4. routes each batch through the sharded model registry to a worker
-   thread, whose completion path resolves the futures, fills the cache and
-   records the telemetry.
+5. routes each batch through the sharded model registry to a worker
+   thread, whose completion path resolves the futures (followers
+   included), fills the cache and records the telemetry.
+
+Model lifecycle: :meth:`register_model` / :meth:`swap_model` /
+:meth:`evict_model` accept fitted classifiers or
+:class:`~repro.core.snapshot.ModelSnapshot` objects.  ``swap_model`` is the
+zero-drop hot-reload -- shards flip to the new model at a micro-batch
+boundary while queued requests ride through untouched -- and every swap or
+eviction bumps the model's *generation* so the completion path never
+memoises a prediction computed by a superseded map.
 
 A background dispatcher thread enforces the deadline flushes so a lone
 low-rate stream still sees bounded latency.  The service is a context
@@ -30,15 +41,21 @@ import numpy as np
 
 from repro.core.classifier import BatchPrediction, SomClassifier
 from repro.core.serialization import PathLike
-from repro.errors import ConfigurationError, ServiceError, ServiceOverloadedError
+from repro.errors import (
+    ConfigurationError,
+    ModelEvictedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.serve.batching import MicroBatch, MicroBatchScheduler
 from repro.serve.cache import CachedOutcome, SignatureLruCache
 from repro.serve.metrics import MetricsSnapshot, ServiceMetrics
-from repro.serve.registry import ModelRegistry
+from repro.serve.registry import ModelRegistry, ModelSource
 from repro.serve.request import (
     ClassificationRequest,
     ClassificationResponse,
     PendingResult,
+    resolve_follower,
     resolve_requests,
 )
 from repro.serve.shard import WorkerShard
@@ -127,7 +144,9 @@ class StreamingInferenceService:
             queue_capacity=self.config.shard_queue_capacity,
             backend=self.config.distance_backend,
         )
-        self.registry.bind_completion(self._on_batch_done, self._on_batch_failed)
+        self.registry.bind_completion(
+            self._on_batch_done, self._on_batch_failed, self._on_model_retired
+        )
         self._clock = clock
         self.scheduler = MicroBatchScheduler(
             batch_size=self.config.batch_size,
@@ -138,6 +157,15 @@ class StreamingInferenceService:
         self.metrics = ServiceMetrics()
         self._pending = 0
         self._pending_lock = threading.Lock()
+        # In-flight dedup table: (model, packed-signature key) -> the
+        # primary request whose kernel execution will answer the group.
+        self._inflight: dict[tuple[str, bytes], ClassificationRequest] = {}
+        self._inflight_lock = threading.Lock()
+        # Per-model generation counters, bumped on swap/evict; completion
+        # only memoises outcomes whose request generation is still current,
+        # so a hot-swap can never leave a superseded prediction in the cache.
+        self._generations: dict[str, int] = {}
+        self._gen_lock = threading.Lock()
         self._next_request_id = 0
         self._id_lock = threading.Lock()
         self._running = False
@@ -192,18 +220,68 @@ class StreamingInferenceService:
         return self._running
 
     # ------------------------------------------------------------------ #
-    # Model management (delegated to the registry)
+    # Model lifecycle (registry + cache/generation bookkeeping)
     # ------------------------------------------------------------------ #
-    def register_model(self, name: str, classifier: SomClassifier) -> None:
-        self.registry.register(name, classifier)
+    def register_model(self, name: str, model: ModelSource) -> None:
+        """Register a fitted classifier or :class:`ModelSnapshot` under ``name``."""
+        self.registry.register(name, model)
 
     def load_model(self, name: str, path: PathLike) -> SomClassifier:
         return self.registry.load(name, path)
 
+    def swap_model(self, name: str, model: ModelSource) -> SomClassifier:
+        """Hot-reload ``name`` with zero dropped requests; return the old model.
+
+        Delegates the shard flip to :meth:`ModelRegistry.swap` (queued
+        batches ride through; the in-flight batch finishes on the old map);
+        the registry's ``retired`` hook then bumps the model's generation
+        and invalidates its cache entries so no memoised outcome of the
+        superseded map survives -- that hook also covers swaps issued on
+        ``service.registry`` directly.  Requests already queued resolve
+        successfully, scored by whichever map was current at their
+        micro-batch boundary -- exactly the semantics of reflashing the
+        FPGA between patterns.
+        """
+        previous = self.registry.swap(name, model)  # raises UnknownModelError
+        self.metrics.record_swap()
+        return previous
+
     def evict_model(self, name: str) -> SomClassifier:
-        classifier = self.registry.evict(name)
-        self.cache.invalidate_model(name)
+        """Unregister ``name``; every queued future fails promptly and clearly.
+
+        Shard-queued batches are failed by the registry with
+        :class:`~repro.errors.ModelEvictedError`; requests still buffered
+        in this service's scheduler lane are cut and failed here the same
+        way, so no future is left waiting for a deadline flush to discover
+        that the name no longer routes.
+        """
+        classifier = self.registry.evict(name)  # fires _on_model_retired
+        lane = self.scheduler.cut_lane(name)
+        if lane is not None:
+            self._fail_batch(
+                lane, ModelEvictedError(name, self.registry.names()), shed=False
+            )
         return classifier
+
+    def _on_model_retired(self, name: str) -> None:
+        """Registry hook: a swap/evict displaced ``name``'s classifier.
+
+        Runs after the shards have flipped (or torn down), whichever entry
+        point initiated it -- ``swap_model``/``evict_model`` here or
+        ``registry.swap``/``registry.evict`` directly.  Bumping the
+        generation first blocks further cache fills from pre-swap requests;
+        the invalidation then clears anything already memoised.
+        """
+        self._bump_generation(name)
+        self.cache.invalidate_model(name)
+
+    def _bump_generation(self, name: str) -> None:
+        with self._gen_lock:
+            self._generations[name] = self._generations.get(name, 0) + 1
+
+    def _generation_of(self, name: str) -> int:
+        with self._gen_lock:
+            return self._generations.get(name, 0)
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -264,6 +342,28 @@ class StreamingInferenceService:
             self.metrics.record_response(response.latency_s)
             return pending
 
+        # Cross-request dedup: an identical packed signature already in
+        # flight for this model answers us too.  The follower consumes no
+        # pending-budget slot and never reaches a shard -- the primary's
+        # one kernel execution fans out to every waiting future.
+        with self._inflight_lock:
+            primary = self._inflight.get((model, key))
+            if primary is not None:
+                follower = ClassificationRequest(
+                    signature=signature.astype(np.uint8, copy=True),
+                    model=model,
+                    stream_id=stream_id,
+                    request_id=request_id,
+                    cache_key=key,
+                    enqueued_at=now,
+                    packed=packed,
+                    generation=primary.generation,
+                )
+                primary.followers.append(follower)
+                self.metrics.record_request()
+                self.metrics.record_dedup()
+                return follower.pending
+
         with self._pending_lock:
             if self._pending >= self.config.max_pending:
                 # Refused attempts count as backpressure only -- neither a
@@ -287,13 +387,19 @@ class StreamingInferenceService:
             cache_key=key,
             enqueued_at=now,
             packed=packed,
+            generation=self._generation_of(model),
         )
+        with self._inflight_lock:
+            # First-in becomes the primary; later identical signatures
+            # coalesce onto it until its batch completes.
+            self._inflight.setdefault((model, key), request)
         with self._state_lock:
             if not self._running:
                 # stop() won the race after the entry check: fail fast
                 # instead of stranding the request in a drained lane.
                 with self._pending_lock:
                     self._pending -= 1
+                self._drop_inflight(request)
                 raise ServiceError("the service is not running; call start() first")
             full_batch = self.scheduler.submit(request)
             if full_batch is not None:
@@ -351,6 +457,33 @@ class StreamingInferenceService:
     # ------------------------------------------------------------------ #
     # Dispatch and completion
     # ------------------------------------------------------------------ #
+    def _drop_inflight(self, request: ClassificationRequest) -> None:
+        """Retire one request from the dedup table (identity-checked).
+
+        After this, no further submit can coalesce onto it, so its
+        ``followers`` list is frozen and safe to iterate without the lock.
+        """
+        key = (request.model, request.cache_key)
+        with self._inflight_lock:
+            if self._inflight.get(key) is request:
+                del self._inflight[key]
+
+    def _fail_batch(self, batch: MicroBatch, error: BaseException, *, shed: bool) -> None:
+        """Deliver ``error`` to a batch's futures (followers included).
+
+        Releases the batch's pending-budget slots; ``shed=True``
+        additionally counts the refusals as backpressure rejections.
+        """
+        if shed:
+            self.metrics.record_backpressure(len(batch))
+        with self._pending_lock:
+            self._pending -= len(batch)
+        for request in batch.requests:
+            self._drop_inflight(request)
+            request.pending.set_exception(error)
+            for follower in request.followers:
+                follower.pending.set_exception(error)
+
     def _dispatch(self, batch: MicroBatch) -> None:
         self.metrics.record_batch(len(batch), batch.fill_fraction)
         try:
@@ -358,45 +491,62 @@ class StreamingInferenceService:
         except ServiceOverloadedError as error:
             # Shard queues saturated: shed the whole batch back to callers,
             # counting one rejection per refused request.
-            self.metrics.record_backpressure(len(batch))
-            with self._pending_lock:
-                self._pending -= len(batch)
-            for request in batch.requests:
-                request.pending.set_exception(error)
+            self._fail_batch(batch, error, shed=True)
         except BaseException as error:
-            with self._pending_lock:
-                self._pending -= len(batch)
-            for request in batch.requests:
-                request.pending.set_exception(error)
+            self._fail_batch(batch, error, shed=False)
 
     def _on_batch_done(
         self, shard: WorkerShard, batch: MicroBatch, prediction: BatchPrediction
     ) -> None:
+        # Retire the dedup entries first: once an entry is gone no new
+        # follower can attach, so each request's follower list is final by
+        # the time it is resolved below.
+        for request in batch.requests:
+            self._drop_inflight(request)
         responses = resolve_requests(batch.requests, prediction, clock=self._clock)
         with self._pending_lock:
             self._pending -= len(batch)
         for request, response in zip(batch.requests, responses):
-            self.cache.put(
-                request.model,
-                request.cache_key,
-                CachedOutcome(
-                    label=response.label,
-                    neuron=response.neuron,
-                    distance=response.distance,
-                    rejected=response.rejected,
-                    confidence=response.confidence,
-                ),
-            )
             self.metrics.record_response(response.latency_s)
+            for follower in request.followers:
+                fanned = resolve_follower(follower, response, clock=self._clock)
+                self.metrics.record_response(fanned.latency_s)
+        # Memoise under the generation lock: a request stamped with the
+        # model's current generation was classified by the current map (a
+        # swap bumps the generation only after the shards have flipped), so
+        # checking inside the lock guarantees no superseded outcome is
+        # written after swap_model's cache invalidation ran.
+        with self._gen_lock:
+            current = self._generations.get(batch.model, 0)
+            for request, response in zip(batch.requests, responses):
+                if request.generation != current:
+                    continue
+                self.cache.put(
+                    request.model,
+                    request.cache_key,
+                    CachedOutcome(
+                        label=response.label,
+                        neuron=response.neuron,
+                        distance=response.distance,
+                        rejected=response.rejected,
+                        confidence=response.confidence,
+                    ),
+                )
 
     def _on_batch_failed(
         self, shard: WorkerShard, batch: MicroBatch, error: BaseException
     ) -> None:
-        # The shard already delivered `error` to every future; just release
-        # the pending-budget slots so a failing model cannot permanently
-        # exhaust max_pending.
+        # The shard already delivered `error` to every primary future;
+        # release the pending-budget slots so a failing model cannot
+        # permanently exhaust max_pending, and fan the error out to any
+        # deduplicated followers.
         with self._pending_lock:
             self._pending -= len(batch)
+        for request in batch.requests:
+            self._drop_inflight(request)
+            for follower in request.followers:
+                if not follower.pending.done():
+                    follower.pending.set_exception(error)
 
     def _dispatch_loop(self) -> None:
         max_idle_wait = max(self.config.max_delay_ms / 1e3, 0.01)

@@ -122,6 +122,33 @@ class WorkerShard:
         except queue.Full:
             return False
 
+    def cancel_queued(self, error: BaseException) -> int:
+        """Fail every queued (not yet running) batch with ``error``.
+
+        Used by model eviction: queued futures get a prompt, catchable
+        error instead of hanging until their timeout.  Batches the worker
+        already pulled are unaffected (they complete normally); stop
+        sentinels found in the queue are preserved.  Returns the number of
+        requests failed.
+        """
+        drained: list[Optional[MicroBatch]] = []
+        while True:
+            try:
+                drained.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        cancelled = 0
+        for batch in drained:
+            if batch is None:
+                self._queue.put(None)
+                continue
+            for request in batch.requests:
+                request.pending.set_exception(error)
+            if self._failure is not None:
+                self._failure(self, batch, error)
+            cancelled += len(batch)
+        return cancelled
+
     @property
     def queue_depth(self) -> int:
         return self._queue.qsize()
@@ -157,10 +184,14 @@ class WorkerShard:
                 except BaseException as error:
                     # A buggy completion callback must not kill the worker
                     # and strand every queued batch; deliver the error to
-                    # whatever futures the callback left unresolved.
+                    # whatever futures the callback left unresolved
+                    # (deduplicated followers included).
                     for request in batch.requests:
                         if not request.pending.done():
                             request.pending.set_exception(error)
+                        for follower in request.followers:
+                            if not follower.pending.done():
+                                follower.pending.set_exception(error)
             finally:
                 with self._lock:
                     self._in_flight = 0
@@ -174,12 +205,17 @@ class WorkerShard:
         re-validation.  Mixed or unpacked batches fall back to stacking the
         raw signatures; those were validated at ``submit`` time too, so the
         zeros-and-ones scan is skipped either way.
+
+        ``self.classifier`` is read exactly once per batch: a hot-swap
+        (:meth:`ShardGroup.swap_classifier`) rebinding it mid-queue takes
+        effect at the next micro-batch boundary, never mid-kernel.
         """
+        classifier = self.classifier
         rows = [request.packed for request in batch.requests]
         if rows and all(row is not None for row in rows):
-            return self.classifier.predict_batch_packed(np.vstack(rows))
+            return classifier.predict_batch_packed(np.vstack(rows))
         signatures = np.vstack([request.signature for request in batch.requests])
-        return self.classifier.predict_batch(signatures, validate=False)
+        return classifier.predict_batch(signatures, validate=False)
 
 
 class ShardGroup:
@@ -231,6 +267,7 @@ class ShardGroup:
             )
         self.model = model
         self.policy = policy
+        self.classifier = classifier
         self.shards = [
             WorkerShard(
                 f"{model}/{index}",
@@ -251,6 +288,28 @@ class ShardGroup:
     def stop(self, timeout: float = 5.0) -> None:
         for shard in self.shards:
             shard.stop(timeout)
+
+    # ------------------------------------------------------------------ #
+    # Hot-swap and eviction support
+    # ------------------------------------------------------------------ #
+    def swap_classifier(self, classifier: SomClassifier) -> SomClassifier:
+        """Rebind every shard to ``classifier``; return the previous one.
+
+        Rebinding is a single attribute store per shard, and each worker
+        reads its classifier once per batch, so the switch lands exactly at
+        a micro-batch boundary: the in-flight batch finishes on the old
+        map, everything still queued is scored by the new one, and no
+        request is dropped or failed.
+        """
+        previous = self.classifier
+        self.classifier = classifier
+        for shard in self.shards:
+            shard.classifier = classifier
+        return previous
+
+    def cancel_queued(self, error: BaseException) -> int:
+        """Fail every queued batch across all shards (eviction path)."""
+        return sum(shard.cancel_queued(error) for shard in self.shards)
 
     # ------------------------------------------------------------------ #
     # Routing

@@ -1,11 +1,30 @@
-"""Unit tests for model serialisation."""
+"""Unit tests for model serialisation (codec-based format v2 + v1 compat)."""
+
+import json
 
 import numpy as np
 import pytest
 
-from repro.core import BinarySom, KohonenSom, SomClassifier, load_model, save_model
+from repro.core import (
+    BinarySom,
+    KohonenSom,
+    LossySerializationWarning,
+    ModelSnapshot,
+    SomClassifier,
+    load_model,
+    load_snapshot,
+    save_model,
+    snapshot_model,
+)
 from repro.core.bsom import BsomUpdateRule
-from repro.core.topology import Grid2DTopology, RingTopology
+from repro.core.topology import (
+    ConstantNeighbourhoodSchedule,
+    Grid2DTopology,
+    LinearTopology,
+    NeighbourhoodSchedule,
+    RingTopology,
+    StepwiseNeighbourhoodSchedule,
+)
 from repro.errors import DataError
 
 
@@ -69,3 +88,229 @@ class TestSaveLoadClassifier:
         loaded = load_model(save_model(classifier, tmp_path / "raw.npz"))
         assert isinstance(loaded, SomClassifier)
         assert loaded.labelling is None
+
+
+# --------------------------------------------------------------------- #
+# Format v2: backend + weights-version persistence (the PR-2 regression)
+# --------------------------------------------------------------------- #
+class TestBackendAndVersionPersistence:
+    def test_packed_backend_and_version_survive_roundtrip(self, tmp_path, cluster_data):
+        X, y = cluster_data
+        classifier = SomClassifier(
+            BinarySom(16, X.shape[1], seed=0, backend="packed")
+        ).fit(X, y, epochs=4, seed=1)
+        version = classifier.som.weights_version
+        assert version > 0  # training bumped it
+
+        loaded = load_model(save_model(classifier, tmp_path / "clf.npz"))
+        assert loaded.som.backend.name == "packed"
+        assert loaded.som.weights_version == version
+        np.testing.assert_array_equal(loaded.predict(X), classifier.predict(X))
+
+    def test_gemm_and_hybrid_backends_roundtrip(self, tmp_path, cluster_data):
+        X, _ = cluster_data
+        for backend in ("gemm", "hybrid"):
+            som = BinarySom(8, X.shape[1], seed=0, backend=backend)
+            loaded = load_model(save_model(som, tmp_path / f"{backend}.npz"))
+            assert loaded.backend.name == backend
+
+    def test_loaded_operand_cache_keys_match_restored_version(self, tmp_path, cluster_data):
+        # The restored counter keys freshly-prepared operands, so queries
+        # right after load() warm the cache at the persisted version and
+        # later queries reuse it rather than re-preparing from scratch.
+        X, y = cluster_data
+        classifier = SomClassifier(
+            BinarySom(16, X.shape[1], seed=0, backend="packed")
+        ).fit(X, y, epochs=2, seed=1)
+        loaded = load_model(save_model(classifier, tmp_path / "clf.npz"))
+        loaded.predict(X[:4])
+        cached = loaded.som._operand_cache.cached_versions()
+        assert cached == {"packed": classifier.som.weights_version}
+        before = dict(cached)
+        loaded.predict(X[:4])  # no weight change: same entry, same version
+        assert loaded.som._operand_cache.cached_versions() == before
+
+    def test_snapshot_records_backend_and_version(self, cluster_data):
+        X, y = cluster_data
+        classifier = SomClassifier(
+            BinarySom(8, X.shape[1], seed=0, backend="naive")
+        ).fit(X, y, epochs=1, seed=1)
+        snapshot = ModelSnapshot.of(classifier)
+        assert snapshot.backend == "naive"
+        assert snapshot.weights_version == classifier.som.weights_version
+        assert snapshot.is_fitted
+
+
+# --------------------------------------------------------------------- #
+# Round-trips across every topology kind and schedule
+# --------------------------------------------------------------------- #
+class TestTopologyScheduleMatrix:
+    TOPOLOGIES = [
+        lambda: LinearTopology(6),
+        lambda: RingTopology(6),
+        lambda: Grid2DTopology(2, 3),
+    ]
+    SCHEDULES = [
+        lambda: StepwiseNeighbourhoodSchedule(max_radius=3, min_radius=1),
+        lambda: ConstantNeighbourhoodSchedule(radius=2),
+    ]
+
+    @pytest.mark.parametrize("topology_index", range(3))
+    @pytest.mark.parametrize("schedule_index", range(2))
+    def test_bsom_roundtrip_matrix(self, tmp_path, topology_index, schedule_index):
+        topology = self.TOPOLOGIES[topology_index]()
+        schedule = self.SCHEDULES[schedule_index]()
+        som = BinarySom(6, 16, seed=0, topology=topology, schedule=schedule)
+        loaded = load_model(save_model(som, tmp_path / "m.npz"))
+        assert type(loaded.topology) is type(topology)
+        assert type(loaded.schedule) is type(schedule)
+        for iteration in range(4):
+            assert loaded.schedule.radius(iteration, 4) == schedule.radius(iteration, 4)
+        for a in range(6):
+            for b in range(6):
+                assert loaded.topology.grid_distance(a, b) == topology.grid_distance(a, b)
+
+    @pytest.mark.parametrize("topology_index", range(3))
+    def test_csom_roundtrip_matrix(self, tmp_path, topology_index):
+        topology = self.TOPOLOGIES[topology_index]()
+        som = KohonenSom(6, 16, seed=0, topology=topology)
+        loaded = load_model(save_model(som, tmp_path / "m.npz"))
+        assert type(loaded.topology) is type(topology)
+        np.testing.assert_allclose(loaded.weights, som.weights)
+
+    def test_custom_schedule_collapse_warns(self, tmp_path):
+        class SawtoothSchedule(NeighbourhoodSchedule):
+            def radius(self, iteration, total_iterations):
+                return 2 + (iteration % 2)
+
+        som = BinarySom(4, 16, seed=0, schedule=SawtoothSchedule())
+        with pytest.warns(LossySerializationWarning, match="SawtoothSchedule"):
+            path = save_model(som, tmp_path / "lossy.npz")
+        loaded = load_model(path)
+        # Collapsed to the iteration-0 radius, held constant.
+        assert isinstance(loaded.schedule, StepwiseNeighbourhoodSchedule)
+        assert loaded.schedule.max_radius == loaded.schedule.min_radius == 2
+
+    def test_registered_schedules_do_not_warn(self, tmp_path, recwarn):
+        som = BinarySom(4, 16, seed=0, schedule=ConstantNeighbourhoodSchedule(1))
+        save_model(som, tmp_path / "ok.npz")
+        assert not [w for w in recwarn if w.category is LossySerializationWarning]
+
+
+# --------------------------------------------------------------------- #
+# Legacy format-v1 archives stay loadable
+# --------------------------------------------------------------------- #
+def _write_v1_archive(path, classifier):
+    """Replicate the pre-codec v1 writer byte layout."""
+    som = classifier.som
+    header = {
+        "format_version": 1,
+        "model": "SomClassifier",
+        "rejection_percentile": classifier.rejection_percentile,
+        "rejection_margin": classifier.rejection_margin,
+        "rejection_threshold": classifier.rejection_threshold,
+        "som": "BinarySom",
+        "n_neurons": som.n_neurons,
+        "n_bits": som.n_bits,
+        "topology": {"kind": "linear", "n_neurons": som.n_neurons},
+        "schedule": {"kind": "stepwise", "max_radius": 4, "min_radius": 1},
+        "update_rule": {
+            "winner_rule": som.update_rule.winner_rule,
+            "neighbour_rule": som.update_rule.neighbour_rule,
+            "neighbour_strength": som.update_rule.neighbour_strength,
+        },
+    }
+    arrays = {
+        "weights": som.weights.values,
+        "node_labels": classifier.labelling.node_labels,
+        "win_frequencies": classifier.labelling.win_frequencies,
+        "labels": classifier.labelling.labels,
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+    }
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+class TestV1Compatibility:
+    def test_v1_classifier_archive_loads(self, tmp_path, cluster_data):
+        X, y = cluster_data
+        classifier = SomClassifier(
+            BinarySom(16, X.shape[1], seed=0), rejection_percentile=99.0
+        ).fit(X, y, epochs=4, seed=1)
+        path = _write_v1_archive(tmp_path / "legacy.npz", classifier)
+        loaded = load_model(path)
+        assert isinstance(loaded, SomClassifier)
+        np.testing.assert_array_equal(loaded.predict(X), classifier.predict(X))
+        assert loaded.rejection_threshold == pytest.approx(
+            classifier.rejection_threshold
+        )
+
+    def test_v1_snapshot_has_no_backend_or_version(self, tmp_path, cluster_data):
+        X, y = cluster_data
+        classifier = SomClassifier(BinarySom(8, X.shape[1], seed=0)).fit(
+            X, y, epochs=1, seed=1
+        )
+        path = _write_v1_archive(tmp_path / "legacy.npz", classifier)
+        snapshot = load_snapshot(path)
+        assert snapshot.format_version == 1
+        assert snapshot.backend is None
+        assert snapshot.weights_version is None
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        header = {"format_version": 99}
+        np.savez_compressed(
+            tmp_path / "future.npz",
+            header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        )
+        with pytest.raises(DataError, match="format version"):
+            load_model(tmp_path / "future.npz")
+
+
+# --------------------------------------------------------------------- #
+# The snapshot itself
+# --------------------------------------------------------------------- #
+class TestModelSnapshot:
+    def test_snapshot_is_immutable_and_decoupled(self, cluster_data):
+        X, y = cluster_data
+        classifier = SomClassifier(BinarySom(8, X.shape[1], seed=0)).fit(
+            X, y, epochs=1, seed=1
+        )
+        snapshot = ModelSnapshot.of(classifier)
+        with pytest.raises(ValueError):
+            snapshot.weights[0, 0] = 1  # read-only view
+        frozen = snapshot.weights.copy()
+        classifier.som.partial_fit(X[0], 0, 1)  # keep training the live map
+        np.testing.assert_array_equal(snapshot.weights, frozen)
+
+    def test_snapshot_passthrough_and_metadata_merge(self, cluster_data):
+        X, y = cluster_data
+        classifier = SomClassifier(BinarySom(8, X.shape[1], seed=0)).fit(
+            X, y, epochs=1, seed=1
+        )
+        snapshot = snapshot_model(classifier, metadata={"site": "hall"})
+        assert snapshot_model(snapshot) is snapshot
+        merged = snapshot_model(snapshot, metadata={"camera": "0"})
+        assert merged.metadata == {"site": "hall", "camera": "0"}
+
+    def test_metadata_roundtrips_through_archive(self, tmp_path, cluster_data):
+        X, y = cluster_data
+        classifier = SomClassifier(BinarySom(8, X.shape[1], seed=0)).fit(
+            X, y, epochs=1, seed=1
+        )
+        snapshot = snapshot_model(classifier, metadata={"site": "hall"})
+        loaded = load_snapshot(save_model(snapshot, tmp_path / "m.npz"))
+        assert loaded.metadata == {"site": "hall"}
+
+    def test_bare_map_snapshot_refuses_to_classify(self):
+        snapshot = ModelSnapshot.of(BinarySom(4, 8, seed=0))
+        with pytest.raises(DataError, match="bare"):
+            snapshot.to_classifier()
+
+    def test_to_model_returns_matching_types(self, tmp_path, cluster_data):
+        X, y = cluster_data
+        assert isinstance(ModelSnapshot.of(BinarySom(4, X.shape[1], seed=0)).to_model(), BinarySom)
+        assert isinstance(ModelSnapshot.of(KohonenSom(4, X.shape[1], seed=0)).to_model(), KohonenSom)
+        fitted = SomClassifier(BinarySom(8, X.shape[1], seed=0)).fit(X, y, epochs=1, seed=1)
+        rebuilt = ModelSnapshot.of(fitted).to_model()
+        assert isinstance(rebuilt, SomClassifier)
+        np.testing.assert_array_equal(rebuilt.predict(X), fitted.predict(X))
