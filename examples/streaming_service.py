@@ -13,11 +13,14 @@ subsystem (:mod:`repro.serve`) scaling that deployment sideways through the
 4. hot-swap to a longer-trained map with ``api.swap`` (the software
    "reflash": zero dropped requests) and drive the streams again, and
 5. print the telemetry: throughput, latency percentiles, batch fill,
-   cache/dedup hit-rates and the swap counter.
+   cache/dedup hit-rates and the swap counter -- and, with
+   ``--metrics-out``, append the full metric registry plus lifecycle
+   events (the hot-swap, cache invalidation) as JSONL snapshots.
 
 Run with::
 
-    python examples/streaming_service.py [--streams 6] [--frames 200]
+    python examples/streaming_service.py [--streams 6] [--frames 200] \
+        [--metrics-out metrics.jsonl]
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from pathlib import Path
 
 from repro import api
 from repro.datasets import make_surveillance_dataset
+from repro.obs import JsonlExporter
 from repro.serve import ServiceConfig, SimulatedCameraStream, drive_streams
 
 
@@ -59,7 +63,11 @@ def _drive(service, dataset, n_streams, frames_per_stream, seed0):
     return reports
 
 
-def main(n_streams: int = 6, frames_per_stream: int = 200) -> None:
+def main(
+    n_streams: int = 6,
+    frames_per_stream: int = 200,
+    metrics_out: str | None = None,
+) -> None:
     print("=== 1. Off-line training and snapshot ===")
     dataset = make_surveillance_dataset(scale=0.1, seed=2010)
     classifier = api.train(
@@ -82,6 +90,7 @@ def main(n_streams: int = 6, frames_per_stream: int = 200) -> None:
         routing_policy="least_loaded",
     )
     service = api.serve({"hall": api.load(snapshot_path)}, config=config, start=False)
+    exporter = JsonlExporter(metrics_out) if metrics_out else None
     print(
         f"registered models: {service.registry.names()}  "
         f"(shards per model: {config.n_shards}, policy: {config.routing_policy})"
@@ -90,6 +99,9 @@ def main(n_streams: int = 6, frames_per_stream: int = 200) -> None:
     with service:
         print(f"\n=== 3. {n_streams} concurrent camera streams ===")
         _drive(service, dataset, n_streams, frames_per_stream, seed0=100)
+
+        if exporter is not None:
+            exporter.export(service.obs.registry, events=service.obs.events)
 
         print("\n=== 4. Hot-swap to a longer-trained map (zero-drop reflash) ===")
         improved = api.train(
@@ -115,11 +127,24 @@ def main(n_streams: int = 6, frames_per_stream: int = 200) -> None:
               f"{snapshot_metrics.latency_p95_ms:.2f} / "
               f"{snapshot_metrics.latency_p99_ms:.2f} ms")
         print(f"backpressure:        {snapshot_metrics.backpressure_rejections} rejections")
+        if exporter is not None:
+            exporter.export(service.obs.registry, events=service.obs.events)
+            print(f"metric snapshots appended to {metrics_out}")
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--streams", type=int, default=6)
     parser.add_argument("--frames", type=int, default=200)
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH.jsonl",
+        help="append JSONL metric+event snapshots here (repro.obs exporter)",
+    )
     arguments = parser.parse_args()
-    main(n_streams=arguments.streams, frames_per_stream=arguments.frames)
+    main(
+        n_streams=arguments.streams,
+        frames_per_stream=arguments.frames,
+        metrics_out=arguments.metrics_out,
+    )

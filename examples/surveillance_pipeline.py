@@ -8,14 +8,20 @@ a trained bSOM, with per-track majority voting.
 
 Run with::
 
-    python examples/surveillance_pipeline.py
+    python examples/surveillance_pipeline.py [--metrics-out metrics.jsonl]
+
+``--metrics-out`` appends the pipeline's per-stage timing registry
+(``pipeline_*`` metrics, seconds) as a JSONL snapshot via the
+:mod:`repro.obs` exporter.
 """
 
 from __future__ import annotations
 
+import argparse
 from collections import Counter
 
 from repro.core import BinarySom, SomClassifier
+from repro.obs import JsonlExporter
 from repro.pipeline import RecognitionSystem, RecognitionSystemConfig
 from repro.signatures import extract_signature
 from repro.vision import ActorSpec, SceneConfig, SyntheticSurveillanceScene
@@ -52,7 +58,7 @@ def collect_training_signatures(scene, n_frames):
     return np.array(signatures, dtype=np.uint8), np.array(labels, dtype=np.int64)
 
 
-def main() -> None:
+def main(metrics_out: str | None = None) -> None:
     print("=== Off-line training (operator-labelled silhouettes) ===")
     train_scene = build_scene(seed=11)
     X, y = collect_training_signatures(train_scene, 90)
@@ -98,7 +104,17 @@ def main() -> None:
         f"  {'frame':10s} {snapshot.mean_frame_ms:8.3f} ms  "
         f"-> {snapshot.frames_per_second:.1f} frames/sec end to end"
     )
+    if metrics_out:
+        JsonlExporter(metrics_out).export(system.metrics.registry)
+        print(f"metric snapshot appended to {metrics_out}")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH.jsonl",
+        help="append a JSONL metric snapshot here (repro.obs exporter)",
+    )
+    main(metrics_out=parser.parse_args().metrics_out)

@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""CI guard for the observability layer: exporter schema + overhead bound.
+
+Three gates, run against a real streaming service (threads, shards, cache,
+dedup, one mid-run hot-swap):
+
+1. **Trace completeness** -- with tracing at ``sample_every=1``, a request
+   submitted through the service yields a trace retrievable by its
+   ``trace_id`` with the full span chain (request -> queue -> batch ->
+   kernel), including for a request whose lane a hot-swap lands on.
+2. **Exporter schema round-trips** -- the JSONL snapshot file reads back
+   with the required ``ts``/``metrics``/``events`` shape and the expected
+   ``serve_*`` names, and the Prometheus text rendering parses back to the
+   registry's exact counter values (cumulative histogram buckets checked).
+3. **Overhead bound** -- end-to-end service throughput with observability
+   at its *default* sampling rate must stay within ``MAX_OVERHEAD`` (5%)
+   of the same service with tracing disabled.  Rounds are interleaved
+   (off/on, off/on, ...) and best-of is compared, mirroring the other
+   perf guards' defence against cold-start and scheduler noise.
+
+Run directly or through scripts/ci_check.sh:
+
+    PYTHONPATH=src python scripts/check_obs.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Pin thread pools before numpy import, mirroring benchmarks/conftest.py,
+# so the overhead ratio compares the same single-threaded numpy regime.
+for _var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.datasets import make_signature_clusters  # noqa: E402
+from repro.obs import JsonlExporter, Observability, read_jsonl  # noqa: E402
+from repro.obs.export import parse_prometheus, render_prometheus  # noqa: E402
+from repro.serve import ServiceConfig  # noqa: E402
+
+MAX_OVERHEAD = 0.05  # observability may cost at most 5% of throughput
+ROUNDS = 3  # interleaved off/on rounds; best-of each side is compared
+REQUESTS_PER_ROUND = 3000
+POOL_SIZE = 512  # signature pool; large enough to keep the kernel busy
+
+
+def build_classifier():
+    X, y = make_signature_clusters(
+        n_identities=5,
+        samples_per_identity=40,
+        n_bits=128,
+        core_bits=20,
+        shared_bits=15,
+        seed=11,
+    )
+    return api.train(X, y, n_neurons=16, epochs=6, seed=3, backend="packed"), X
+
+
+def check_trace_completeness(classifier, X) -> list[str]:
+    failures: list[str] = []
+    config = ServiceConfig(batch_size=16, max_delay_ms=2.0, trace_sample_every=1)
+    service = api.serve({"hall": classifier}, config=config, start=False)
+    with service:
+        # Plain request: the full span chain must be retrievable by id.
+        future = service.submit(X[0], model="hall", stream_id="cam-0")
+        service.flush()
+        response = future.result(10.0)
+        trace = service.obs.trace(response.trace_id)
+        expected = ("request", "queue", "batch", "kernel")
+        if trace is None or trace.span_names() != expected or trace.status != "ok":
+            failures.append(
+                "trace incomplete: "
+                f"{None if trace is None else trace.span_names()} != {expected}"
+            )
+
+        # Request in the lane when a hot-swap lands: the single trace must
+        # span the swap and the kernel must run on the new weights.
+        riding = service.submit(X[1], model="hall")
+        api.swap(service, "hall", api.snapshot(classifier))
+        service.flush()
+        swap_response = riding.result(10.0)
+        swap_trace = service.obs.trace(swap_response.trace_id)
+        if swap_trace is None or swap_trace.span_names() != expected:
+            failures.append("trace across hot-swap incomplete")
+        kinds = [event.kind for event in service.obs.events.events()]
+        for kind in ("model_registered", "model_swap", "cache_invalidate"):
+            if kind not in kinds:
+                failures.append(f"lifecycle event {kind!r} missing from log")
+    return failures
+
+
+def check_exporter_schema(classifier, X) -> list[str]:
+    failures: list[str] = []
+    config = ServiceConfig(batch_size=16, max_delay_ms=2.0, trace_sample_every=1)
+    service = api.serve({"hall": classifier}, config=config, start=False)
+    with service:
+        futures = [service.submit(x, model="hall") for x in X[:64]]
+        service.flush()
+        for future in futures:
+            future.result(10.0)
+        service.metrics_snapshot()  # publishes the shard queue-depth gauges
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "metrics.jsonl"
+            JsonlExporter(path).export(
+                service.obs.registry, events=service.obs.events
+            )
+            records = read_jsonl(path)  # raises DataError on schema breaks
+            metrics = records[-1]["metrics"]
+            for name in (
+                "serve_requests_total",
+                "serve_responses_total",
+                "serve_request_latency_seconds",
+                "serve_pending_requests",
+            ):
+                if name not in metrics:
+                    failures.append(f"JSONL snapshot missing {name!r}")
+            histogram = metrics.get("serve_request_latency_seconds", {})
+            for field in ("buckets", "sum", "count", "p50", "p99", "p999"):
+                if field not in histogram:
+                    failures.append(f"JSONL histogram missing {field!r}")
+            if not records[-1]["events"]:
+                failures.append("JSONL snapshot shipped no events")
+
+        # Prometheus text: render -> parse must reproduce registry values.
+        samples = parse_prometheus(render_prometheus(service.obs.registry))
+        snapshot = service.metrics_snapshot()
+        if samples[("serve_requests_total", ())] != float(snapshot.requests_total):
+            failures.append("prometheus round trip lost serve_requests_total")
+        count_key = ("serve_request_latency_seconds_count", ())
+        if samples.get(count_key) != float(snapshot.responses_total):
+            failures.append("prometheus histogram count != responses_total")
+        inf_key = ("serve_request_latency_seconds_bucket", (("le", "+Inf"),))
+        if samples.get(inf_key) != samples.get(count_key):
+            failures.append("prometheus +Inf bucket != histogram count")
+    return failures
+
+
+def run_throughput_round(classifier, X, *, obs: Observability) -> float:
+    """Requests/second for one service lifetime at the given obs config."""
+    rng = np.random.default_rng(5)
+    pool = X[rng.integers(0, len(X), size=POOL_SIZE)]
+    config = ServiceConfig(
+        batch_size=32, max_delay_ms=2.0, cache_capacity=0, max_pending=4096
+    )
+    service = api.serve({"hall": classifier}, config=config, obs=obs, start=False)
+    with service:
+        futures = []
+        start = time.perf_counter()
+        for index in range(REQUESTS_PER_ROUND):
+            futures.append(
+                service.submit(pool[index % POOL_SIZE], model="hall")
+            )
+        service.flush()
+        for future in futures:
+            future.result(30.0)
+        elapsed = time.perf_counter() - start
+    return REQUESTS_PER_ROUND / elapsed
+
+
+def check_overhead(classifier, X) -> list[str]:
+    best_off = 0.0
+    best_on = 0.0
+    for round_index in range(ROUNDS):
+        off = run_throughput_round(
+            classifier, X, obs=Observability.disabled()
+        )
+        on = run_throughput_round(classifier, X, obs=Observability())
+        best_off = max(best_off, off)
+        best_on = max(best_on, on)
+        print(
+            f"  round {round_index + 1}/{ROUNDS}: "
+            f"disabled {off:,.0f} req/s, default-sampling {on:,.0f} req/s"
+        )
+    overhead = 1.0 - best_on / best_off
+    print(
+        f"  best-of: disabled {best_off:,.0f} req/s, "
+        f"default-sampling {best_on:,.0f} req/s -> overhead {overhead:+.1%} "
+        f"(bound {MAX_OVERHEAD:.0%})"
+    )
+    if overhead > MAX_OVERHEAD:
+        return [
+            f"observability overhead {overhead:.1%} exceeds the "
+            f"{MAX_OVERHEAD:.0%} bound "
+            f"({best_on:,.0f} vs {best_off:,.0f} req/s)"
+        ]
+    return []
+
+
+def main() -> int:
+    classifier, X = build_classifier()
+    failures: list[str] = []
+
+    print("=== trace completeness (sample_every=1, incl. mid-flight swap) ===")
+    failures += check_trace_completeness(classifier, X)
+
+    print("=== exporter schema: JSONL read-back + Prometheus round trip ===")
+    failures += check_exporter_schema(classifier, X)
+
+    print("=== throughput overhead: default sampling vs tracing disabled ===")
+    failures += check_overhead(classifier, X)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("check_obs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

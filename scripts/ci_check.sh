@@ -42,6 +42,14 @@ echo "=== lifecycle smoke: save -> load -> serve -> swap under load ==="
 python scripts/check_lifecycle.py
 
 echo
+echo "=== observability: exporter schema + trace completeness + overhead ==="
+# Full span chains retrievable by trace_id (including across a mid-flight
+# hot-swap), JSONL and Prometheus exporters proven by read-back/parse
+# round trips, and end-to-end throughput with default-sampling tracing
+# held within 5% of tracing disabled.
+python scripts/check_obs.py
+
+echo
 echo "=== smoke: streaming service demo (4 cameras, 40 frames each) ==="
 python examples/streaming_service.py --streams 4 --frames 40
 

@@ -63,6 +63,7 @@ from repro.core.snapshot import ModelSnapshot
 from repro.core.som import SelfOrganisingMap
 from repro.core.topology import NeighbourhoodSchedule, Topology
 from repro.errors import ConfigurationError
+from repro.obs import Observability
 from repro.serve.registry import ModelRegistry, ModelSource
 from repro.serve.service import ServiceConfig, StreamingInferenceService
 
@@ -199,6 +200,7 @@ def serve(
     *,
     config: Optional[ServiceConfig] = None,
     registry: Optional[ModelRegistry] = None,
+    obs: Optional[Observability] = None,
     start: bool = True,
 ) -> StreamingInferenceService:
     """Stand up a streaming service over named models and (by default) start it.
@@ -213,12 +215,17 @@ def serve(
     registry:
         Pre-built registry to serve from; built from ``config`` when
         omitted.
+    obs:
+        A shared :class:`~repro.obs.Observability` bundle (metric registry
+        + tracer + event log); built from ``config.trace_sample_every``
+        when omitted.  Retrieve a sampled request's trace with
+        ``service.obs.trace(response.trace_id)``.
     start:
         Start the dispatcher and shard threads before returning (pass
         ``False`` to register only; the service also works as a context
         manager).
     """
-    service = StreamingInferenceService(registry=registry, config=config)
+    service = StreamingInferenceService(registry=registry, config=config, obs=obs)
     for name, source in models.items():
         service.register_model(name, _coerce_source(source))
     if start:
@@ -248,6 +255,7 @@ def swap(
 
 __all__ = [
     "ModelSnapshot",
+    "Observability",
     "ServeSource",
     "train",
     "snapshot",

@@ -1,0 +1,110 @@
+"""Structured lifecycle event log with monotonic sequence numbers.
+
+Counters say a swap happened; the event log says *which model, when, and in
+what order relative to everything else*.  Lifecycle transitions
+(``model_swap``, ``evict``, ``dedup``, ``shed``, ``cache_invalidate``,
+``model_registered``) are appended as immutable :class:`Event` records with
+a process-wide monotonic ``seq`` -- eviction from the bounded ring never
+reuses or reorders sequence numbers, so an exporter that remembers the last
+``seq`` it shipped can stream increments (:class:`repro.obs.export.JsonlExporter`
+does exactly that).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured lifecycle event.
+
+    Attributes
+    ----------
+    seq:
+        Monotonically increasing sequence number (never reused).
+    ts_s:
+        Monotonic timestamp in seconds (the owning log's clock).
+    kind:
+        Event type, e.g. ``"model_swap"``.
+    fields:
+        Free-form structured payload (model name, counts, ...).
+    """
+
+    seq: int
+    ts_s: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "ts_s": self.ts_s,
+            "kind": self.kind,
+            **{k: v for k, v in self.fields.items() if k not in ("seq", "ts_s", "kind")},
+        }
+
+
+class EventLog:
+    """Thread-safe bounded ring of :class:`Event` records.
+
+    Parameters
+    ----------
+    capacity:
+        Events retained; the oldest is dropped when a newer one arrives.
+        ``total_emitted`` and ``seq`` keep counting past evictions.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self, capacity: int = 1024, *, clock: Callable[[], float] = time.monotonic
+    ):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: deque[Event] = deque(maxlen=self.capacity)
+        self._next_seq = 0
+
+    def emit(self, kind: str, **fields: Any) -> Event:
+        """Append one event; returns the stamped record."""
+        with self._lock:
+            event = Event(self._next_seq, self._clock(), str(kind), dict(fields))
+            self._next_seq += 1
+            self._events.append(event)
+        return event
+
+    def events(
+        self, *, since_seq: Optional[int] = None, kind: Optional[str] = None
+    ) -> tuple[Event, ...]:
+        """Retained events in order, optionally after ``since_seq`` / by kind."""
+        with self._lock:
+            events = tuple(self._events)
+        if since_seq is not None:
+            events = tuple(e for e in events if e.seq > since_seq)
+        if kind is not None:
+            events = tuple(e for e in events if e.kind == kind)
+        return events
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent event (-1 when none yet)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    @property
+    def total_emitted(self) -> int:
+        with self._lock:
+            return self._next_seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

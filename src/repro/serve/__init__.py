@@ -18,7 +18,10 @@ moving parts, front to back:
   each behind its own shard group, with zero-drop hot-reload
   (:meth:`ModelRegistry.swap`) and fail-fast eviction,
 * :mod:`repro.serve.metrics` -- latency percentiles, batch fill, cache
-  hit-rate, dedup fan-out, swap and queue-depth telemetry,
+  hit-rate, dedup fan-out, swap and queue-depth telemetry, registered in
+  the service's :class:`repro.obs.MetricRegistry` so the exporters in
+  :mod:`repro.obs.export` scrape it (per-request traces and lifecycle
+  events live in :mod:`repro.obs` too),
 * :mod:`repro.serve.service` -- the front-end wiring it all together with
   backpressure and cross-request deduplication of identical in-flight
   signatures, and

@@ -44,12 +44,16 @@ class MicroBatch:
         :attr:`fill_fraction` this is the batch-fill telemetry signal.
     flushed_by:
         ``"size"``, ``"deadline"`` or ``"drain"`` -- why the batch was cut.
+    cut_at:
+        Scheduler clock value at the moment the batch was cut; request
+        traces use it as the queue-wait / batch-wait span boundary.
     """
 
     model: str
     requests: tuple[ClassificationRequest, ...]
     capacity: int
     flushed_by: str
+    cut_at: float = 0.0
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -149,6 +153,7 @@ class MicroBatchScheduler:
             requests=requests,
             capacity=self.batch_size,
             flushed_by=reason,
+            cut_at=self._clock(),
         )
 
     # ------------------------------------------------------------------ #

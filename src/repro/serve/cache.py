@@ -105,6 +105,13 @@ class SignatureLruCache:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when unused)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups served from the cache (0.0 when unused).
+
+        Hits and misses are read under the cache lock in one critical
+        section -- two bare attribute reads would let a concurrent lookup
+        land between them and skew the ratio.
+        """
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -4,26 +4,47 @@ Production serving lives and dies by a handful of signals, and the paper's
 throughput story (Table IV / figure 6) is exactly such a signal for the
 FPGA.  This module keeps the software service honest the same way:
 
-* request latency (submit-to-resolve) with p50/p95/p99 percentiles over a
-  bounded sliding window of recent samples,
+* request latency (submit-to-resolve) with p50/p95/p99/p999 percentiles
+  estimated from a fixed-bucket histogram (no raw samples stored),
 * batch fill -- how close the micro-batcher gets to its configured batch
   size, the lever that trades latency for throughput,
 * cache hit rate, mirrored from the signature LRU cache, and
 * per-shard queue depth plus a count of backpressure rejections.
 
-Everything is counter- or window-based and guarded by one lock; recording
-is O(1) so shards can call it on the hot path.
+Since the unified observability layer landed, :class:`ServiceMetrics` is a
+facade over a :class:`repro.obs.MetricRegistry`: every counter and the
+latency histogram live in the registry under stable ``serve_*`` names (in
+seconds -- milliseconds appear only in rendered snapshots), so the JSONL
+and Prometheus exporters in :mod:`repro.obs.export` see the service's
+telemetry without any serve-specific glue.  The legacy surface --
+attribute reads like ``metrics.responses_total`` and the frozen
+:class:`MetricsSnapshot` -- is unchanged.
+
+Registry metric names (the vocabulary ``BENCH_serve.json`` will commit):
+
+==========================================  =========  =======================
+``serve_requests_total``                    counter    requests accepted
+``serve_responses_total``                   counter    requests resolved
+``serve_cache_hits_total``                  counter    signature-cache hits
+``serve_cache_misses_total``                counter    signature-cache misses
+``serve_dedup_hits_total``                  counter    in-flight coalesces
+``serve_model_swaps_total``                 counter    zero-drop hot-swaps
+``serve_backpressure_rejections_total``     counter    refused requests
+``serve_batches_total``                     counter    micro-batches cut
+``serve_batch_fill_fraction_sum``           counter    summed fill fractions
+``serve_batch_size_sum``                    counter    summed batch sizes
+``serve_request_latency_seconds``           histogram  submit-to-resolve
+``serve_shard_queue_depth{shard=...}``      gauge      queued batches
+==========================================  =========  =======================
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
 from dataclasses import dataclass, field
-
-import numpy as np
+from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricRegistry, read_consistent
 
 
 @dataclass(frozen=True)
@@ -53,8 +74,9 @@ class MetricsSnapshot:
         Average fill fraction of dispatched batches (1.0 = always full).
     mean_batch_size:
         Average number of requests per dispatched batch.
-    latency_p50_ms, latency_p95_ms, latency_p99_ms:
-        Percentiles over the recent-latency window, in milliseconds.
+    latency_p50_ms, latency_p95_ms, latency_p99_ms, latency_p999_ms:
+        Percentile estimates from the latency histogram, rendered in
+        milliseconds (stored in seconds internally).
     queue_depths:
         Batches queued per shard, keyed by shard name, at snapshot time.
     """
@@ -73,6 +95,7 @@ class MetricsSnapshot:
     latency_p50_ms: float
     latency_p95_ms: float
     latency_p99_ms: float
+    latency_p999_ms: float = 0.0
     queue_depths: dict[str, int] = field(default_factory=dict)
 
 
@@ -81,48 +104,68 @@ class ServiceMetrics:
 
     Parameters
     ----------
-    latency_window:
-        Number of most recent latency samples retained for the percentile
-        estimates.  Bounded so a long-running service cannot grow without
-        limit; 4096 samples give stable p99 estimates at realistic rates.
+    registry:
+        The :class:`~repro.obs.MetricRegistry` to register the ``serve_*``
+        metrics in; a service passes its observability registry so one
+        exporter pass sees everything.  A private registry is built when
+        omitted (standalone use and tests).
     """
 
-    def __init__(self, latency_window: int = 4096):
-        if latency_window <= 0:
-            raise ConfigurationError(
-                f"latency_window must be positive, got {latency_window}"
-            )
-        self._lock = threading.Lock()
-        self._latencies: deque[float] = deque(maxlen=int(latency_window))
-        self.requests_total = 0
-        self.responses_total = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.dedup_hits = 0
-        self.model_swaps = 0
-        self.backpressure_rejections = 0
-        self.batches_total = 0
-        self._fill_sum = 0.0
-        self._size_sum = 0
+    def __init__(self, registry: Optional[MetricRegistry] = None):
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self._requests = reg.counter(
+            "serve_requests_total", help="Requests accepted (cache hits included)"
+        )
+        self._responses = reg.counter(
+            "serve_responses_total", help="Requests resolved with a classification"
+        )
+        self._cache_hits = reg.counter(
+            "serve_cache_hits_total", help="Signature-cache hits"
+        )
+        self._cache_misses = reg.counter(
+            "serve_cache_misses_total", help="Signature-cache misses"
+        )
+        self._dedup = reg.counter(
+            "serve_dedup_hits_total", help="Requests coalesced onto in-flight twins"
+        )
+        self._swaps = reg.counter(
+            "serve_model_swaps_total", help="Zero-drop model hot-swaps"
+        )
+        self._backpressure = reg.counter(
+            "serve_backpressure_rejections_total",
+            help="Requests refused under saturation",
+        )
+        self._batches = reg.counter(
+            "serve_batches_total", help="Micro-batches dispatched to shards"
+        )
+        self._fill_sum = reg.counter(
+            "serve_batch_fill_fraction_sum",
+            help="Summed fill fractions of dispatched batches",
+        )
+        self._size_sum = reg.counter(
+            "serve_batch_size_sum", help="Summed sizes of dispatched batches"
+        )
+        self._latency = reg.histogram(
+            "serve_request_latency_seconds",
+            help="Submit-to-resolve request latency in seconds",
+        )
 
     # ------------------------------------------------------------------ #
     # Recording (hot path)
     # ------------------------------------------------------------------ #
     def record_request(self) -> None:
-        with self._lock:
-            self.requests_total += 1
+        self._requests.inc()
 
     def record_response(self, latency_s: float) -> None:
-        with self._lock:
-            self.responses_total += 1
-            self._latencies.append(float(latency_s))
+        self._responses.inc()
+        self._latency.observe(float(latency_s))
 
     def record_cache(self, hit: bool) -> None:
-        with self._lock:
-            if hit:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
+        if hit:
+            self._cache_hits.inc()
+        else:
+            self._cache_misses.inc()
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -130,78 +173,107 @@ class ServiceMetrics:
 
         The same quantity as :attr:`MetricsSnapshot.cache_hit_rate`, but
         readable without freezing a full snapshot -- dashboards and the
-        benchmark harness poll it per tick.
+        benchmark harness poll it per tick.  Hits and misses are read in
+        one critical section (:func:`~repro.obs.metrics.read_consistent`
+        holds both counters' locks), so a recorder slipping between two
+        separate reads can never skew the ratio.
         """
-        with self._lock:
-            lookups = self.cache_hits + self.cache_misses
-            return self.cache_hits / lookups if lookups else 0.0
+        hits, misses = read_consistent(self._cache_hits, self._cache_misses)
+        lookups = hits + misses
+        return hits / lookups if lookups else 0.0
 
     def record_dedup(self, count: int = 1) -> None:
         """Count requests coalesced onto an identical in-flight signature."""
-        with self._lock:
-            self.dedup_hits += int(count)
+        self._dedup.inc(int(count))
 
     def record_swap(self) -> None:
         """Count one zero-drop model hot-swap."""
-        with self._lock:
-            self.model_swaps += 1
+        self._swaps.inc()
 
     def record_backpressure(self, count: int = 1) -> None:
         """Count refused requests (a shed batch refuses all its members)."""
-        with self._lock:
-            self.backpressure_rejections += int(count)
+        self._backpressure.inc(int(count))
 
     def record_batch(self, size: int, fill_fraction: float) -> None:
-        with self._lock:
-            self.batches_total += 1
-            self._fill_sum += float(fill_fraction)
-            self._size_sum += int(size)
+        self._batches.inc()
+        self._fill_sum.inc(float(fill_fraction))
+        self._size_sum.inc(int(size))
+
+    # ------------------------------------------------------------------ #
+    # Legacy attribute surface (reads the registry counters)
+    # ------------------------------------------------------------------ #
+    @property
+    def requests_total(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def responses_total(self) -> int:
+        return int(self._responses.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._cache_misses.value)
+
+    @property
+    def dedup_hits(self) -> int:
+        return int(self._dedup.value)
+
+    @property
+    def model_swaps(self) -> int:
+        return int(self._swaps.value)
+
+    @property
+    def backpressure_rejections(self) -> int:
+        return int(self._backpressure.value)
+
+    @property
+    def batches_total(self) -> int:
+        return int(self._batches.value)
 
     # ------------------------------------------------------------------ #
     # Reading
     # ------------------------------------------------------------------ #
     def latency_percentile_ms(self, percentile: float) -> float:
-        """Latency percentile over the retained window, in milliseconds."""
+        """Latency percentile estimate in milliseconds (stored in seconds)."""
         if not 0.0 <= percentile <= 100.0:
             raise ConfigurationError(
                 f"percentile must lie in [0, 100], got {percentile}"
             )
-        with self._lock:
-            if not self._latencies:
-                return 0.0
-            samples = np.asarray(self._latencies, dtype=np.float64)
-        return float(np.percentile(samples, percentile)) * 1e3
+        return self._latency.quantile(percentile / 100.0) * 1e3
 
     def snapshot(self, queue_depths: dict[str, int] | None = None) -> MetricsSnapshot:
         """Freeze the counters (and optional shard queue depths) for reporting."""
-        with self._lock:
-            lookups = self.cache_hits + self.cache_misses
-            samples = np.asarray(self._latencies, dtype=np.float64)
-            counters = dict(
-                requests_total=self.requests_total,
-                responses_total=self.responses_total,
-                cache_hits=self.cache_hits,
-                cache_misses=self.cache_misses,
-                cache_hit_rate=self.cache_hits / lookups if lookups else 0.0,
-                dedup_hits=self.dedup_hits,
-                model_swaps=self.model_swaps,
-                backpressure_rejections=self.backpressure_rejections,
-                batches_total=self.batches_total,
-                mean_batch_fill=(
-                    self._fill_sum / self.batches_total if self.batches_total else 0.0
-                ),
-                mean_batch_size=(
-                    self._size_sum / self.batches_total if self.batches_total else 0.0
-                ),
-            )
-        if samples.size:
-            p50, p95, p99 = np.percentile(samples, (50.0, 95.0, 99.0)) * 1e3
-        else:
-            p50 = p95 = p99 = 0.0
+        depths = dict(queue_depths or {})
+        for shard, depth in depths.items():
+            self.registry.gauge(
+                "serve_shard_queue_depth",
+                labels={"shard": shard},
+                help="Micro-batches queued per worker shard",
+            ).set(depth)
+        hits, misses = (
+            int(v) for v in read_consistent(self._cache_hits, self._cache_misses)
+        )
+        lookups = hits + misses
+        batches = int(self._batches.value)
         return MetricsSnapshot(
-            latency_p50_ms=float(p50),
-            latency_p95_ms=float(p95),
-            latency_p99_ms=float(p99),
-            queue_depths=dict(queue_depths or {}),
-            **counters,
+            requests_total=int(self._requests.value),
+            responses_total=int(self._responses.value),
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_hit_rate=hits / lookups if lookups else 0.0,
+            dedup_hits=int(self._dedup.value),
+            model_swaps=int(self._swaps.value),
+            backpressure_rejections=int(self._backpressure.value),
+            batches_total=batches,
+            mean_batch_fill=self._fill_sum.value / batches if batches else 0.0,
+            mean_batch_size=self._size_sum.value / batches if batches else 0.0,
+            latency_p50_ms=self._latency.quantile(0.50) * 1e3,
+            latency_p95_ms=self._latency.quantile(0.95) * 1e3,
+            latency_p99_ms=self._latency.quantile(0.99) * 1e3,
+            latency_p999_ms=self._latency.quantile(0.999) * 1e3,
+            queue_depths=depths,
         )

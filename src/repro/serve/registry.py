@@ -39,6 +39,7 @@ from repro.errors import (
     ModelEvictedError,
     UnknownModelError,
 )
+from repro.obs.events import EventLog
 from repro.serve.batching import MicroBatch
 from repro.serve.request import resolve_requests
 from repro.serve.shard import ShardGroup, WorkerShard
@@ -62,6 +63,9 @@ class ModelRegistry:
         Distance-backend selection applied to each registered model's SOM
         (when it supports pluggable backends); ``None`` keeps whatever the
         model was built with.
+    clock:
+        Monotonic time source forwarded to the shards for trace
+        timestamps; a binding service passes its own clock.
     """
 
     def __init__(
@@ -71,6 +75,7 @@ class ModelRegistry:
         policy: str = "round_robin",
         queue_capacity: int = 8,
         backend=None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
@@ -78,6 +83,8 @@ class ModelRegistry:
         self.policy = policy
         self.queue_capacity = int(queue_capacity)
         self.backend = backend
+        self._clock = clock
+        self._events: Optional[EventLog] = None
         self._lock = threading.Lock()
         self._groups: dict[str, ShardGroup] = {}
         self._classifiers: dict[str, SomClassifier] = {}
@@ -118,6 +125,20 @@ class ModelRegistry:
         self._completion = completion
         self._failure = failure
         self._retired = retired
+
+    def bind_events(self, events: EventLog) -> None:
+        """Attach a structured event log for lifecycle transitions.
+
+        Once bound, :meth:`register`, :meth:`swap` and :meth:`evict` emit
+        ``model_registered`` / ``model_swap`` / ``evict`` events with
+        monotonic sequence numbers -- including lifecycle calls issued on
+        the registry directly rather than through a bound service.
+        """
+        self._events = events
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self._events is not None:
+            self._events.emit(kind, **fields)
 
     def _dispatch_retired(self, name: str) -> None:
         if self._retired is not None:
@@ -194,12 +215,19 @@ class ModelRegistry:
                 queue_capacity=self.queue_capacity,
                 # Backend selection and operand warm-up already applied above.
                 backend=None,
+                clock=self._clock,
             )
             self._groups[name] = group
             self._classifiers[name] = classifier
             if self._started:
                 group.start()
-            return group
+        self._emit(
+            "model_registered",
+            model=name,
+            n_shards=self.n_shards,
+            weights_version=getattr(classifier.som, "weights_version", None),
+        )
+        return group
 
     def load(self, name: str, path: PathLike) -> SomClassifier:
         """Load a classifier snapshot saved by ``save_model`` and register it."""
@@ -243,6 +271,12 @@ class ModelRegistry:
             previous = self._classifiers[name]
             self._classifiers[name] = classifier
             group.swap_classifier(classifier)
+        self._emit(
+            "model_swap",
+            model=name,
+            weights_version=getattr(classifier.som, "weights_version", None),
+            previous_weights_version=getattr(previous.som, "weights_version", None),
+        )
         self._dispatch_retired(name)
         return previous
 
@@ -265,12 +299,13 @@ class ModelRegistry:
         error = ModelEvictedError(name, remaining)
         # First pass: fail what is queued right now (covers never-started
         # shards, whose queues would otherwise strand their futures).
-        group.cancel_queued(error)
+        cancelled = group.cancel_queued(error)
         group.stop()
         # Second pass: anything that raced in between the cancel and the
         # worker shutdown (the name is already unrouteable, but a caller
         # holding a direct group reference could still have submitted).
-        group.cancel_queued(error)
+        cancelled += group.cancel_queued(error)
+        self._emit("evict", model=name, cancelled_requests=cancelled)
         self._dispatch_retired(name)
         return classifier
 

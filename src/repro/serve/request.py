@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ServiceError
+from repro.obs.trace import Trace
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,11 @@ class ClassificationResponse:
         ``True`` when the answer was fanned out from another in-flight
         request with an identical packed signature -- the SOM executed one
         kernel for the whole group and this response rode along.
+    trace_id:
+        Id of the request's trace when it was sampled
+        (:class:`repro.obs.Tracer`); retrieve the full span breakdown with
+        ``service.obs.trace(response.trace_id)``.  ``None`` when the
+        request was not sampled.
     """
 
     label: int
@@ -66,6 +72,7 @@ class ClassificationResponse:
     cached: bool
     latency_s: float
     deduplicated: bool = False
+    trace_id: Optional[int] = None
 
 
 class PendingResult:
@@ -124,6 +131,11 @@ class ClassificationRequest:
     deduplicated requests with an identical in-flight packed signature:
     they never reach a shard; the one kernel execution of this (primary)
     request resolves them all.
+
+    ``trace`` rides along when the request was sampled: the scheduler, the
+    worker shard and the completion path each stamp their stage spans onto
+    it, so a single object reference carries the whole queue -> batch ->
+    kernel -> resolve attribution across threads.
     """
 
     signature: np.ndarray
@@ -136,6 +148,11 @@ class ClassificationRequest:
     pending: PendingResult = field(default_factory=PendingResult)
     generation: int = 0
     followers: list["ClassificationRequest"] = field(default_factory=list)
+    trace: Optional[Trace] = None
+
+    @property
+    def trace_id(self) -> Optional[int]:
+        return self.trace.trace_id if self.trace is not None else None
 
 
 def resolve_requests(requests, prediction, *, clock) -> list[ClassificationResponse]:
@@ -159,6 +176,7 @@ def resolve_requests(requests, prediction, *, clock) -> list[ClassificationRespo
             request_id=request.request_id,
             cached=False,
             latency_s=max(0.0, now - request.enqueued_at),
+            trace_id=request.trace_id,
         )
         request.pending.set_result(response)
         responses.append(response)
@@ -187,6 +205,7 @@ def resolve_follower(
         cached=False,
         latency_s=max(0.0, clock() - follower.enqueued_at),
         deduplicated=True,
+        trace_id=follower.trace_id,
     )
     follower.pending.set_result(fanned)
     return fanned

@@ -47,6 +47,7 @@ from repro.errors import (
     ServiceError,
     ServiceOverloadedError,
 )
+from repro.obs import Observability
 from repro.serve.batching import MicroBatch, MicroBatchScheduler
 from repro.serve.cache import CachedOutcome, SignatureLruCache
 from repro.serve.metrics import MetricsSnapshot, ServiceMetrics
@@ -89,6 +90,10 @@ class ServiceConfig:
         (``"gemm"``, ``"packed"``, ``"naive"``, ``"auto"``, or a backend
         instance); ``None`` keeps each model's own choice.  Only used when
         the service builds its own registry.
+    trace_sample_every:
+        Trace every Nth request (``1`` = all, ``0`` = tracing off).  Only
+        used when the service builds its own :class:`~repro.obs.Observability`;
+        a passed-in ``obs`` keeps its own sampling rate.
     """
 
     batch_size: int = 32
@@ -99,6 +104,7 @@ class ServiceConfig:
     shard_queue_capacity: int = 8
     max_pending: int = 1024
     distance_backend: Optional[str] = None
+    trace_sample_every: int = 16
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -112,6 +118,11 @@ class ServiceConfig:
         if self.max_pending <= 0:
             raise ConfigurationError(
                 f"max_pending must be positive, got {self.max_pending}"
+            )
+        if self.trace_sample_every < 0:
+            raise ConfigurationError(
+                "trace_sample_every must be >= 0 (0 disables tracing), "
+                f"got {self.trace_sample_every}"
             )
 
 
@@ -128,6 +139,11 @@ class StreamingInferenceService:
         Service configuration (defaults are sensible for tests/demos).
     clock:
         Monotonic time source, injectable for tests.
+    obs:
+        The :class:`~repro.obs.Observability` bundle (metric registry +
+        tracer + event log) the service reports through.  Built from
+        ``config.trace_sample_every`` and ``clock`` when omitted; pass a
+        shared instance to scrape several services with one exporter.
     """
 
     def __init__(
@@ -136,17 +152,23 @@ class StreamingInferenceService:
         config: Optional[ServiceConfig] = None,
         *,
         clock: Callable[[], float] = time.monotonic,
+        obs: Optional[Observability] = None,
     ):
         self.config = config or ServiceConfig()
+        self.obs = obs if obs is not None else Observability(
+            sample_every=self.config.trace_sample_every, clock=clock
+        )
         self.registry = registry or ModelRegistry(
             n_shards=self.config.n_shards,
             policy=self.config.routing_policy,
             queue_capacity=self.config.shard_queue_capacity,
             backend=self.config.distance_backend,
+            clock=clock,
         )
         self.registry.bind_completion(
             self._on_batch_done, self._on_batch_failed, self._on_model_retired
         )
+        self.registry.bind_events(self.obs.events)
         self._clock = clock
         self.scheduler = MicroBatchScheduler(
             batch_size=self.config.batch_size,
@@ -154,7 +176,12 @@ class StreamingInferenceService:
             clock=clock,
         )
         self.cache = SignatureLruCache(self.config.cache_capacity)
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(registry=self.obs.registry)
+        self.obs.registry.gauge(
+            "serve_pending_requests",
+            fn=lambda: float(self.pending_requests),
+            help="Admitted-but-unresolved requests (live, read at collection)",
+        )
         self._pending = 0
         self._pending_lock = threading.Lock()
         # In-flight dedup table: (model, packed-signature key) -> the
@@ -273,7 +300,8 @@ class StreamingInferenceService:
         the invalidation then clears anything already memoised.
         """
         self._bump_generation(name)
-        self.cache.invalidate_model(name)
+        dropped = self.cache.invalidate_model(name)
+        self.obs.events.emit("cache_invalidate", model=name, dropped_entries=dropped)
 
     def _bump_generation(self, name: str) -> None:
         with self._gen_lock:
@@ -320,6 +348,9 @@ class StreamingInferenceService:
         with self._id_lock:
             request_id = self._next_request_id
             self._next_request_id += 1
+        trace = self.obs.tracer.start(
+            t=now, model=model, stream_id=stream_id, request_id=request_id
+        )
 
         outcome = self.cache.get(model, key)
         if outcome is not None:
@@ -337,7 +368,12 @@ class StreamingInferenceService:
                 request_id=request_id,
                 cached=True,
                 latency_s=max(0.0, self._clock() - now),
+                trace_id=trace.trace_id if trace is not None else None,
             )
+            if trace is not None:
+                done = now + response.latency_s
+                trace.span("cache", start=now, end=done, hit=True)
+                trace.finish("ok", t=done, cached=True, label=response.label)
             pending.set_result(response)
             self.metrics.record_response(response.latency_s)
             return pending
@@ -358,10 +394,33 @@ class StreamingInferenceService:
                     enqueued_at=now,
                     packed=packed,
                     generation=primary.generation,
+                    trace=trace,
                 )
+                if trace is not None:
+                    # The follower never queues or reaches a shard; its one
+                    # span records the coalesce and links to the primary's
+                    # kernel span, which does the actual work.
+                    span = trace.span(
+                        "dedup",
+                        start=now,
+                        end=self._clock(),
+                        primary_request_id=primary.request_id,
+                    )
+                    if primary.trace is not None:
+                        span.add_link(
+                            trace_id=primary.trace.trace_id, span="kernel"
+                        )
+                # Append last: once the follower is visible to the
+                # completion path its trace/span state must be final.
                 primary.followers.append(follower)
                 self.metrics.record_request()
                 self.metrics.record_dedup()
+                self.obs.events.emit(
+                    "dedup",
+                    model=model,
+                    request_id=request_id,
+                    primary_request_id=primary.request_id,
+                )
                 return follower.pending
 
         with self._pending_lock:
@@ -370,6 +429,11 @@ class StreamingInferenceService:
                 # request nor a cache miss -- so requests_total keeps the
                 # documented meaning of "requests accepted".
                 self.metrics.record_backpressure()
+                self.obs.events.emit(
+                    "shed", model=model, reason="pending_budget", count=1
+                )
+                if trace is not None:
+                    trace.finish("shed", reason="pending_budget")
                 raise ServiceOverloadedError(
                     "service pending budget",
                     pending=self._pending,
@@ -388,7 +452,10 @@ class StreamingInferenceService:
             enqueued_at=now,
             packed=packed,
             generation=self._generation_of(model),
+            trace=trace,
         )
+        if trace is not None:
+            trace.begin("queue", t=now)
         with self._inflight_lock:
             # First-in becomes the primary; later identical signatures
             # coalesce onto it until its batch completes.
@@ -400,6 +467,8 @@ class StreamingInferenceService:
                 with self._pending_lock:
                     self._pending -= 1
                 self._drop_inflight(request)
+                if trace is not None:
+                    trace.finish("error", error="ServiceError")
                 raise ServiceError("the service is not running; call start() first")
             full_batch = self.scheduler.submit(request)
             if full_batch is not None:
@@ -468,6 +537,22 @@ class StreamingInferenceService:
             if self._inflight.get(key) is request:
                 del self._inflight[key]
 
+    def _finish_failed_traces(
+        self, request: ClassificationRequest, status: str, error: BaseException
+    ) -> None:
+        """Terminal spans for a failed request and its dedup followers.
+
+        Every error path ends sampled traces with a status (``"error"`` or
+        ``"shed"``) and the error type, so an evicted model's requests
+        still leave a complete, retrievable trace.
+        """
+        name = type(error).__name__
+        if request.trace is not None:
+            request.trace.finish(status, error=name)
+        for follower in request.followers:
+            if follower.trace is not None:
+                follower.trace.finish(status, error=name)
+
     def _fail_batch(self, batch: MicroBatch, error: BaseException, *, shed: bool) -> None:
         """Deliver ``error`` to a batch's futures (followers included).
 
@@ -476,16 +561,28 @@ class StreamingInferenceService:
         """
         if shed:
             self.metrics.record_backpressure(len(batch))
+            self.obs.events.emit(
+                "shed", model=batch.model, reason="shard_queues", count=len(batch)
+            )
         with self._pending_lock:
             self._pending -= len(batch)
+        status = "shed" if shed else "error"
         for request in batch.requests:
             self._drop_inflight(request)
+            self._finish_failed_traces(request, status, error)
             request.pending.set_exception(error)
             for follower in request.followers:
                 follower.pending.set_exception(error)
 
     def _dispatch(self, batch: MicroBatch) -> None:
         self.metrics.record_batch(len(batch), batch.fill_fraction)
+        for request in batch.requests:
+            if request.trace is not None:
+                # The batch-cut timestamp is the queue/batch boundary: the
+                # request stopped waiting for peers and started waiting for
+                # a shard.  The shard ends the batch span at kernel start.
+                request.trace.end("queue", t=batch.cut_at)
+                request.trace.begin("batch", t=batch.cut_at)
         try:
             self.registry.submit(batch)
         except ServiceOverloadedError as error:
@@ -503,6 +600,15 @@ class StreamingInferenceService:
         # the time it is resolved below.
         for request in batch.requests:
             self._drop_inflight(request)
+        # Finish sampled traces *before* resolving futures: a caller woken
+        # by result() can immediately retrieve its complete trace by id.
+        for row, request in enumerate(batch.requests):
+            label = int(prediction.labels[row])
+            if request.trace is not None:
+                request.trace.finish("ok", label=label)
+            for follower in request.followers:
+                if follower.trace is not None:
+                    follower.trace.finish("ok", label=label, deduplicated=True)
         responses = resolve_requests(batch.requests, prediction, clock=self._clock)
         with self._pending_lock:
             self._pending -= len(batch)
@@ -544,6 +650,7 @@ class StreamingInferenceService:
             self._pending -= len(batch)
         for request in batch.requests:
             self._drop_inflight(request)
+            self._finish_failed_traces(request, "error", error)
             for follower in request.followers:
                 if not follower.pending.done():
                     follower.pending.set_exception(error)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Callable, Optional
 
 from repro.core.classifier import BatchPrediction, SomClassifier
@@ -60,6 +61,9 @@ class WorkerShard:
         cannot permanently exhaust ``max_pending``.
     queue_capacity:
         Maximum queued batches before :meth:`try_submit` refuses.
+    clock:
+        Monotonic time source for trace timestamps (kernel spans), shared
+        with the service's tracer; injectable for tests.
     """
 
     def __init__(
@@ -70,6 +74,7 @@ class WorkerShard:
         *,
         failure: Optional[FailureCallback] = None,
         queue_capacity: int = 8,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if queue_capacity <= 0:
             raise ConfigurationError(
@@ -79,6 +84,7 @@ class WorkerShard:
         self.classifier = classifier
         self._completion = completion
         self._failure = failure
+        self._clock = clock
         self._queue: "queue.Queue[Optional[MicroBatch]]" = queue.Queue(
             maxsize=int(queue_capacity)
         )
@@ -209,13 +215,41 @@ class WorkerShard:
         ``self.classifier`` is read exactly once per batch: a hot-swap
         (:meth:`ShardGroup.swap_classifier`) rebinding it mid-queue takes
         effect at the next micro-batch boundary, never mid-kernel.
+
+        Sampled requests get a ``kernel`` span (one clock read pair for the
+        whole batch) annotated with the shard, model, batch size and the
+        serving map's weights version -- the annotation that makes a trace
+        spanning a hot-swap attributable to the map that actually scored
+        it.  Their still-open ``batch`` span (shard-queue wait) is closed
+        at the same instant the kernel starts.
         """
         classifier = self.classifier
+        traced = [r.trace for r in batch.requests if r.trace is not None]
+        kernel_start = self._clock() if traced else 0.0
         rows = [request.packed for request in batch.requests]
         if rows and all(row is not None for row in rows):
-            return classifier.predict_batch_packed(np.vstack(rows))
-        signatures = np.vstack([request.signature for request in batch.requests])
-        return classifier.predict_batch(signatures, validate=False)
+            prediction = classifier.predict_batch_packed(np.vstack(rows))
+        else:
+            signatures = np.vstack([request.signature for request in batch.requests])
+            prediction = classifier.predict_batch(signatures, validate=False)
+        if traced:
+            kernel_end = self._clock()
+            som = classifier.som
+            weights_version = getattr(som, "weights_version", None)
+            backend = getattr(getattr(som, "backend", None), "name", None)
+            for trace in traced:
+                trace.end("batch", t=kernel_start)
+                trace.span(
+                    "kernel",
+                    start=kernel_start,
+                    end=kernel_end,
+                    shard=self.name,
+                    model=batch.model,
+                    batch_size=len(batch),
+                    weights_version=weights_version,
+                    backend=backend,
+                )
+        return prediction
 
 
 class ShardGroup:
@@ -243,6 +277,8 @@ class ShardGroup:
         SOM's current backend.  Applied once here -- the shards share the
         classifier, so they automatically share the SOM's cached prepared
         operands as well.
+    clock:
+        Monotonic time source forwarded to every shard (trace timestamps).
     """
 
     def __init__(
@@ -256,6 +292,7 @@ class ShardGroup:
         policy: str = "round_robin",
         queue_capacity: int = 8,
         backend=None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
@@ -275,6 +312,7 @@ class ShardGroup:
                 completion,
                 failure=failure,
                 queue_capacity=queue_capacity,
+                clock=clock,
             )
             for index in range(n_shards)
         ]
