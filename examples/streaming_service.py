@@ -17,10 +17,19 @@ subsystem (:mod:`repro.serve`) scaling that deployment sideways through the
    ``--metrics-out``, append the full metric registry plus lifecycle
    events (the hot-swap, cache invalidation) as JSONL snapshots.
 
+With ``--inject-faults`` the first drive phase runs under a deterministic
+:class:`~repro.serve.FaultInjector` that kills one worker shard mid-wave:
+the frames in the abandoned micro-batch fail fast with
+``ShardFailedError``, the shard supervisor detects the dead thread and
+restarts it, and the remaining frames resolve on the replacement worker.
+The restart is visible in the telemetry (``shard restarts`` line, the
+``shard_restart`` event) and in ``--metrics-out`` as the
+``serve_shard_restarts_total`` counter.
+
 Run with::
 
     python examples/streaming_service.py [--streams 6] [--frames 200] \
-        [--metrics-out metrics.jsonl]
+        [--metrics-out metrics.jsonl] [--inject-faults]
 """
 
 from __future__ import annotations
@@ -32,8 +41,17 @@ from pathlib import Path
 
 from repro import api
 from repro.datasets import make_surveillance_dataset
+from repro.errors import ServiceError, ServiceOverloadedError
 from repro.obs import JsonlExporter
-from repro.serve import ServiceConfig, SimulatedCameraStream, drive_streams
+from repro.serve import (
+    SHARD_DEATH,
+    FaultInjector,
+    FaultSpec,
+    ServiceConfig,
+    SimulatedCameraStream,
+    SupervisorConfig,
+    drive_streams,
+)
 
 
 def _drive(service, dataset, n_streams, frames_per_stream, seed0):
@@ -63,10 +81,69 @@ def _drive(service, dataset, n_streams, frames_per_stream, seed0):
     return reports
 
 
+def _drive_through_fault(service, dataset, n_streams, frames_per_stream, seed0):
+    """Drive the streams while the injector kills a worker shard.
+
+    ``drive_streams`` surfaces non-overload failures to the caller, so this
+    phase submits frames directly and counts per-future outcomes instead:
+    the frames in the micro-batch the dying worker abandoned fail with
+    ``ShardFailedError``; everything queued behind them is re-dispatched to
+    the supervisor's replacement worker and resolves normally.
+    """
+    streams = [
+        SimulatedCameraStream(
+            f"cam-{index}",
+            dataset.test_signatures,
+            dataset.test_labels,
+            n_frames=frames_per_stream,
+            repeat_probability=0.4,
+            seed=seed0 + index,
+        )
+        for index in range(n_streams)
+    ]
+    start = time.perf_counter()
+    futures = []
+    for stream in streams:
+        for signature, _truth in stream.frames():
+            while True:
+                try:
+                    futures.append(
+                        service.submit(
+                            signature, model="hall", stream_id=stream.stream_id
+                        )
+                    )
+                    break
+                except ServiceOverloadedError:
+                    time.sleep(0.002)
+    answered = failed = 0
+    for future in futures:
+        try:
+            future.result(30.0)
+            answered += 1
+        except ServiceError:
+            failed += 1
+    elapsed = time.perf_counter() - start
+    # The supervisor fails the abandoned futures before it finishes
+    # standing up the replacement worker, so give it a beat to record.
+    poll_deadline = time.monotonic() + 2.0
+    restart_events = list(service.obs.events.events(kind="shard_restart"))
+    while not restart_events and time.monotonic() < poll_deadline:
+        time.sleep(0.01)
+        restart_events = list(service.obs.events.events(kind="shard_restart"))
+    print(f"served {answered} classifications in {elapsed:.2f} s; "
+          f"{failed} frame(s) failed fast with the abandoned micro-batch "
+          f"(coalesced duplicates included)")
+    print(f"supervisor restarted {len(restart_events)} worker shard(s); "
+          f"every other frame resolved on the replacement")
+    for event in restart_events:
+        print(f"  shard_restart event: {event.fields}")
+
+
 def main(
     n_streams: int = 6,
     frames_per_stream: int = 200,
     metrics_out: str | None = None,
+    inject_faults: bool = False,
 ) -> None:
     print("=== 1. Off-line training and snapshot ===")
     dataset = make_surveillance_dataset(scale=0.1, seed=2010)
@@ -82,12 +159,22 @@ def main(
     print(f"snapshot written to {snapshot_path}")
 
     print("\n=== 2. Service: registry + shards + micro-batching + cache ===")
+    injector = None
+    if inject_faults:
+        # Deterministic chaos: after one healthy micro-batch, the next
+        # worker to take a batch dies with it in hand -- exactly once.
+        injector = FaultInjector(
+            seed=2010,
+            specs=[FaultSpec(SHARD_DEATH, start_after=1, max_fires=1)],
+        )
     config = ServiceConfig(
         batch_size=32,
         max_delay_ms=5.0,
         cache_capacity=4096,
         n_shards=2,
         routing_policy="least_loaded",
+        fault_injector=injector,
+        supervisor=SupervisorConfig(interval_s=0.05, hang_timeout_s=5.0),
     )
     service = api.serve({"hall": api.load(snapshot_path)}, config=config, start=False)
     exporter = JsonlExporter(metrics_out) if metrics_out else None
@@ -97,8 +184,16 @@ def main(
     )
 
     with service:
-        print(f"\n=== 3. {n_streams} concurrent camera streams ===")
-        _drive(service, dataset, n_streams, frames_per_stream, seed0=100)
+        if inject_faults:
+            print(f"\n=== 3. {n_streams} camera streams under an injected "
+                  f"shard death ===")
+            _drive_through_fault(
+                service, dataset, n_streams, frames_per_stream, seed0=100
+            )
+            injector.disarm()  # chaos over; the swap phase runs clean
+        else:
+            print(f"\n=== 3. {n_streams} concurrent camera streams ===")
+            _drive(service, dataset, n_streams, frames_per_stream, seed0=100)
 
         if exporter is not None:
             exporter.export(service.obs.registry, events=service.obs.events)
@@ -127,6 +222,9 @@ def main(
               f"{snapshot_metrics.latency_p95_ms:.2f} / "
               f"{snapshot_metrics.latency_p99_ms:.2f} ms")
         print(f"backpressure:        {snapshot_metrics.backpressure_rejections} rejections")
+        if inject_faults:
+            print(f"shard restarts:      {snapshot_metrics.shard_restarts} "
+                  f"(serve_shard_restarts_total in --metrics-out)")
         if exporter is not None:
             exporter.export(service.obs.registry, events=service.obs.events)
             print(f"metric snapshots appended to {metrics_out}")
@@ -142,9 +240,16 @@ if __name__ == "__main__":
         metavar="PATH.jsonl",
         help="append JSONL metric+event snapshots here (repro.obs exporter)",
     )
+    parser.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help="kill one worker shard mid-wave (deterministic FaultInjector) "
+        "and show the supervisor restarting it",
+    )
     arguments = parser.parse_args()
     main(
         n_streams=arguments.streams,
         frames_per_stream=arguments.frames,
         metrics_out=arguments.metrics_out,
+        inject_faults=arguments.inject_faults,
     )

@@ -1,0 +1,347 @@
+#!/usr/bin/env python
+"""CI chaos gate: the serve stack under deterministic fault injection.
+
+Drives the streaming service through every fault class the resilience
+layer defends against -- raising kernels, hung kernels, dying shard
+workers, failing swaps, corrupt cache entries -- with all four defences
+armed (deadlines, retry, circuit breakers, shard supervision), and holds
+it to four invariants:
+
+1. **terminal futures** -- under every fault class, every submitted
+   request reaches a terminal state (a result or a typed service error)
+   within its result deadline; one hung future fails the gate,
+2. **zero leaked threads** -- after ``service.stop()`` no worker,
+   dispatcher or supervisor thread survives,
+3. **throughput recovery** -- after the chaos is disarmed, throughput
+   recovers to within 10% of the pre-fault baseline (the restarts and
+   breakers left no lasting damage), and
+4. **deterministic injection** -- the fault pattern is a pure function of
+   the seed, so any failure of this gate replays locally with the same
+   ``--seed``.
+
+Run directly or through scripts/ci_check.sh:
+
+    PYTHONPATH=src python scripts/check_resilience.py --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import api  # noqa: E402
+from repro.datasets import make_signature_clusters  # noqa: E402
+from repro.errors import (  # noqa: E402
+    InjectedFaultError,
+    ResultTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.serve import (  # noqa: E402
+    BreakerConfig,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    ServiceConfig,
+    SupervisorConfig,
+)
+from repro.serve.resilience import (  # noqa: E402
+    CACHE_CODEC,
+    FAULT_SITES,
+    KERNEL_HANG,
+    KERNEL_RAISE,
+    SHARD_DEATH,
+    SWAP_FAILURE,
+)
+
+WAVE = 400  # requests per fault wave
+THROUGHPUT_WAVE = 1000  # requests per throughput-measurement round
+THROUGHPUT_ROUNDS = 6  # first round is warm-up; median of the rest counts
+N_BITS = 128
+RESULT_TIMEOUT_S = 15.0  # a future unresolved past this counts as hung
+RECOVERY_FLOOR = 0.9  # recovered throughput must reach 90% of baseline
+
+
+def wave_signatures(seed: int, phase: str, n: int = WAVE) -> np.ndarray:
+    """Distinct random signatures per phase.
+
+    Distinct rows keep the phases honest: with a small repeated pool every
+    late request coalesces onto the first batches' primaries, so one
+    injected fault would fan out to the whole wave and the recovery
+    measurement would time the dedup table instead of the kernels.
+    """
+    rng = np.random.default_rng([seed, *phase.encode()])  # hash-seed independent
+    return rng.integers(0, 2, size=(n, N_BITS)).astype(np.uint8)
+
+
+def check_deterministic_injection(seed: int) -> None:
+    """Invariant 4: same seed => identical fire pattern, per site."""
+
+    def pattern(s: int) -> list[bool]:
+        injector = FaultInjector(
+            seed=s, specs=[FaultSpec(site, probability=0.3) for site in FAULT_SITES]
+        )
+        return [injector.fires(site) is not None for site in FAULT_SITES for _ in range(64)]
+
+    if pattern(seed) != pattern(seed):
+        raise AssertionError("same seed replayed a different fault pattern")
+    if pattern(seed) == pattern(seed + 1):
+        raise AssertionError("different seeds produced identical fault patterns")
+    print(f"injection determinism ok (seed {seed})")
+
+
+def drive_wave(service, signatures: np.ndarray, stream_id: str):
+    """Submit one wave and wait every future to a terminal state.
+
+    Returns ``(ok, failed, elapsed_s)``.  Raises on the one unacceptable
+    outcome: a future that neither resolved nor failed within
+    ``RESULT_TIMEOUT_S`` (a hung request).
+    """
+    t0 = time.perf_counter()
+    futures = []
+    for row in signatures:
+        while True:
+            try:
+                futures.append(service.submit(row, model="m", stream_id=stream_id))
+                break
+            except ServiceOverloadedError:
+                time.sleep(0.002)  # saturated or circuit open: back off, retry
+            except ServiceError as error:
+                # Any other submit-time refusal is terminal for this request.
+                futures.append(error)
+                break
+    ok = failed = 0
+    for future in futures:
+        if isinstance(future, ServiceError):
+            failed += 1
+            continue
+        try:
+            future.result(RESULT_TIMEOUT_S)
+            ok += 1
+        except ResultTimeoutError:
+            raise AssertionError(
+                f"a {stream_id!r} request hung past {RESULT_TIMEOUT_S}s"
+            )
+        except ServiceError:
+            failed += 1
+    return ok, failed, time.perf_counter() - t0
+
+
+def measure_throughput(service, seed: int, stream_id: str) -> float:
+    """Median throughput over several rounds, first round discarded.
+
+    Single-round timings on a shared CI machine swing by tens of percent
+    (scheduler warm-up, neighbour interference); a warm-up-discarded
+    median keeps the 10% recovery floor meaningful rather than flaky.
+    """
+    rates = []
+    for index in range(THROUGHPUT_ROUNDS):
+        wave = wave_signatures(seed, f"{stream_id}-{index}", THROUGHPUT_WAVE)
+        ok, failed, elapsed = drive_wave(service, wave, f"{stream_id}-{index}")
+        if failed:
+            raise AssertionError(
+                f"{failed} request(s) failed during the fault-free "
+                f"{stream_id!r} measurement"
+            )
+        rates.append(ok / elapsed)
+    steady = sorted(rates[1:])
+    return steady[len(steady) // 2]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7, help="fault-injection seed")
+    args = parser.parse_args()
+
+    check_deterministic_injection(args.seed)
+
+    X, y = make_signature_clusters(
+        n_identities=5,
+        samples_per_identity=40,
+        n_bits=128,
+        core_bits=20,
+        shared_bits=15,
+        seed=7,
+    )
+    v1 = api.train(X, y, n_neurons=16, epochs=6, seed=1, backend="packed")
+    # Same architecture as v1: the recovery phase compares throughput
+    # against the baseline, so the swapped-in map must cost the same.
+    v2 = api.train(X, y, n_neurons=16, epochs=10, seed=2, backend="packed")
+
+    threads_before = {t.name for t in threading.enumerate()}
+    injector = FaultInjector(seed=args.seed)  # armed per phase below
+    service = api.serve(
+        {"m": v1},
+        config=ServiceConfig(
+            batch_size=16,
+            max_delay_ms=2.0,
+            cache_capacity=0,  # throughput below measures kernels, not memoisation
+            n_shards=2,
+            max_pending=4096,
+            default_deadline_s=10.0,
+            retry=RetryPolicy(5, base_delay_s=0.005, max_delay_s=0.05, seed=args.seed),
+            breaker=BreakerConfig(failure_threshold=3, reset_timeout_s=0.05),
+            supervisor=SupervisorConfig(
+                interval_s=0.02, hang_timeout_s=0.2, max_restarts=8
+            ),
+            fault_injector=injector,
+        ),
+    )
+
+    try:
+        # --- pre-fault baseline ------------------------------------------
+        baseline = measure_throughput(service, args.seed, "baseline")
+        print(f"baseline ok: {baseline:.0f} req/s")
+
+        # --- fault class 1: raising kernels ------------------------------
+        injector.arm(FaultSpec(KERNEL_RAISE, probability=0.3, max_fires=6))
+        ok, failed, _ = drive_wave(
+            service, wave_signatures(args.seed, "kernel-raise"), "kernel-raise"
+        )
+        injector.disarm(KERNEL_RAISE)
+        if injector.fired(KERNEL_RAISE) == 0:
+            raise AssertionError("kernel_raise never fired; the phase proved nothing")
+        print(
+            f"kernel_raise ok: {injector.fired(KERNEL_RAISE)} faults, "
+            f"{ok} answered, {failed} failed terminally, 0 hung"
+        )
+
+        # --- fault class 2: hung kernels (wedged workers) ----------------
+        injector.arm(FaultSpec(KERNEL_HANG, hang_s=0.6, max_fires=2))
+        restarts_before = service.metrics.shard_restarts
+        ok, failed, _ = drive_wave(
+            service, wave_signatures(args.seed, "kernel-hang"), "kernel-hang"
+        )
+        injector.disarm(KERNEL_HANG)
+        wedge_restarts = service.metrics.shard_restarts - restarts_before
+        if injector.fired(KERNEL_HANG) == 0:
+            raise AssertionError("kernel_hang never fired; the phase proved nothing")
+        if wedge_restarts == 0:
+            raise AssertionError("no supervisor restart despite wedged workers")
+        print(
+            f"kernel_hang ok: {injector.fired(KERNEL_HANG)} wedges, "
+            f"{wedge_restarts} watchdog restart(s), {ok} answered, "
+            f"{failed} failed terminally, 0 hung"
+        )
+
+        # --- fault class 3: dying shard workers --------------------------
+        injector.arm(FaultSpec(SHARD_DEATH, max_fires=2))
+        restarts_before = service.metrics.shard_restarts
+        ok, failed, _ = drive_wave(
+            service, wave_signatures(args.seed, "shard-death"), "shard-death"
+        )
+        injector.disarm(SHARD_DEATH)
+        death_restarts = service.metrics.shard_restarts - restarts_before
+        if injector.fired(SHARD_DEATH) != 2:
+            raise AssertionError(
+                f"expected 2 worker deaths, injected {injector.fired(SHARD_DEATH)}"
+            )
+        if death_restarts < 2:
+            raise AssertionError(
+                f"2 workers died but only {death_restarts} restart(s) happened"
+            )
+        print(
+            f"shard_death ok: 2 deaths, {death_restarts} watchdog restart(s), "
+            f"{ok} answered, {failed} failed terminally, 0 hung"
+        )
+
+        # --- fault class 4: failing hot-swap -----------------------------
+        injector.arm(FaultSpec(SWAP_FAILURE, max_fires=1))
+        try:
+            api.swap(service, "m", api.snapshot(v2))
+        except InjectedFaultError:
+            pass
+        else:
+            raise AssertionError("armed swap_failure did not fire")
+        # The old model must keep serving, and the retried swap must land.
+        ok, failed, _ = drive_wave(
+            service,
+            wave_signatures(args.seed, "post-failed-swap", WAVE // 4),
+            "post-failed-swap",
+        )
+        if failed:
+            raise AssertionError(f"{failed} request(s) failed after the aborted swap")
+        api.swap(service, "m", api.snapshot(v2))
+        injector.disarm(SWAP_FAILURE)
+        print("swap_failure ok: aborted cleanly, old model kept serving, retry landed")
+
+        # --- fault class 5: corrupt cache entries ------------------------
+        injector.arm(FaultSpec(CACHE_CODEC, probability=0.5, max_fires=20))
+        cache_errors_before = service.metrics.cache_errors
+        ok, failed, _ = drive_wave(
+            service,
+            wave_signatures(args.seed, "cache-codec", WAVE // 4),
+            "cache-codec",
+        )
+        injector.disarm(CACHE_CODEC)
+        cache_errors = service.metrics.cache_errors - cache_errors_before
+        if failed:
+            raise AssertionError(
+                f"{failed} request(s) failed on cache faults; they must degrade to misses"
+            )
+        if cache_errors == 0:
+            raise AssertionError("cache_codec never fired; the phase proved nothing")
+        print(f"cache_codec ok: {cache_errors} faults degraded to misses, 0 failures")
+
+        # --- recovery: all chaos off, throughput within 10% of baseline --
+        injector.disarm()
+        recovered = measure_throughput(service, args.seed, "recovery")
+        if recovered < RECOVERY_FLOOR * baseline:
+            # One settle-and-retry: supervisor restarts finished moments
+            # ago and a neighbour may be hogging the cores; a genuinely
+            # damaged service (dead shard, stuck breaker) stays slow.
+            time.sleep(0.5)
+            recovered = max(
+                recovered, measure_throughput(service, args.seed, "recovery-settle")
+            )
+        if recovered < RECOVERY_FLOOR * baseline:
+            raise AssertionError(
+                f"throughput did not recover: {recovered:.0f} req/s vs "
+                f"{baseline:.0f} req/s baseline "
+                f"({recovered / baseline:.0%} < {RECOVERY_FLOOR:.0%})"
+            )
+        print(
+            f"recovery ok: {recovered:.0f} req/s "
+            f"({recovered / baseline:.0%} of baseline)"
+        )
+    finally:
+        service.stop()
+
+    # --- zero leaked threads ---------------------------------------------
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = {
+            t.name
+            for t in threading.enumerate()
+            if t.name not in threads_before and t.is_alive()
+        }
+        if not leaked:
+            break
+        time.sleep(0.05)
+    if leaked:
+        print(f"FAIL: thread(s) leaked after stop: {sorted(leaked)}")
+        return 1
+    snapshot = service.metrics_snapshot()
+    if snapshot.shard_leaks:
+        print(f"FAIL: registry reported {snapshot.shard_leaks} leaked shard worker(s)")
+        return 1
+
+    print(
+        f"resilience ok (seed {args.seed}): "
+        f"{snapshot.shard_restarts} restart(s), "
+        f"{snapshot.retries} retried submit(s), "
+        f"{snapshot.deadline_exceeded} deadline shed(s), "
+        f"{snapshot.cache_errors} cache fault(s), 0 hung futures, 0 leaked threads"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

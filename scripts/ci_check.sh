@@ -50,6 +50,15 @@ echo "=== observability: exporter schema + trace completeness + overhead ==="
 python scripts/check_obs.py
 
 echo
+echo "=== resilience: chaos gate (deterministic fault injection, seed 7) ==="
+# Every fault class (raising/hung kernels, dying workers, failing swaps,
+# corrupt cache entries) with deadlines, retry, breakers and the shard
+# supervisor armed: every future terminal, zero hung futures or leaked
+# threads, throughput recovered to >= 90% of the pre-fault baseline, and
+# a fault pattern that replays exactly under the same seed.
+python scripts/check_resilience.py --seed 7
+
+echo
 echo "=== smoke: streaming service demo (4 cameras, 40 frames each) ==="
 python examples/streaming_service.py --streams 4 --frames 40
 

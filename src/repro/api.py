@@ -211,7 +211,14 @@ def serve(
         Mapping of registry name to a :class:`ModelSnapshot`, a fitted
         :class:`~repro.core.SomClassifier`, or a path to a saved archive.
     config:
-        Service tuning knobs (:class:`~repro.serve.ServiceConfig`).
+        Service tuning knobs (:class:`~repro.serve.ServiceConfig`).  The
+        resilience layer lives here too: ``default_deadline_s`` (shed
+        requests whose latency budget expired), ``retry`` (jittered
+        backoff for transient overload refusals), ``breaker``
+        (per-(model, shard) circuit breakers with stale-cache
+        degradation), ``supervisor`` (watchdog restarting dead/wedged
+        worker shards; on by default) and ``fault_injector``
+        (deterministic chaos testing; ``None`` in production).
     registry:
         Pre-built registry to serve from; built from ``config`` when
         omitted.

@@ -126,3 +126,92 @@ class ServiceOverloadedError(ServiceError):
         super().__init__(
             f"{what} saturated: {pending} pending against a capacity of {capacity}"
         )
+
+
+class CircuitOpenError(ServiceOverloadedError):
+    """Every shard circuit breaker of the requested model is open.
+
+    The scheduler routes around individually open shards; this error means
+    no shard of the model is currently accepting work and no stale cache
+    entry could answer the request.  Derives from
+    :class:`ServiceOverloadedError` because the remedy is the same: back
+    off and retry -- a half-open probe will test the shards again after the
+    breaker's reset timeout.
+    """
+
+    def __init__(self, model: str, open_shards: int = 0, total_shards: int = 0):
+        self.model = model
+        self.open_shards = int(open_shards)
+        self.total_shards = int(total_shards)
+        self.what = f"model {model!r} circuit"
+        self.pending = self.open_shards
+        self.capacity = self.total_shards
+        ServiceError.__init__(
+            self,
+            f"model {model!r} is unavailable: {open_shards}/{total_shards} "
+            "shard circuit breakers are open",
+        )
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before its batch reached a kernel.
+
+    Expired requests are shed -- once before batching (at dispatch) and
+    once more just before kernel launch -- so a deadline-carrying caller is
+    guaranteed a terminal answer within its budget instead of paying for a
+    classification it can no longer use.
+    """
+
+    def __init__(self, model: str = "", deadline_s: float | None = None):
+        self.model = model
+        self.deadline_s = deadline_s
+        budget = f" of {deadline_s:.3f}s" if deadline_s is not None else ""
+        super().__init__(
+            f"request deadline{budget} expired before classification"
+            + (f" (model {model!r})" if model else "")
+        )
+
+
+class ShardFailedError(ServiceError):
+    """A worker shard died or wedged while a batch was in flight.
+
+    Delivered by the shard supervisor to the futures of the batch the
+    failed worker was holding; the shard itself is restarted (under a
+    bounded restart budget) and its still-queued batches are re-dispatched.
+    """
+
+    def __init__(self, shard: str, reason: str = "failed"):
+        self.shard = shard
+        self.reason = reason
+        super().__init__(f"worker shard {shard!r} {reason} while a batch was in flight")
+
+
+class InjectedFaultError(ServiceError):
+    """A deterministic test fault fired at a named injection site.
+
+    Raised only when a :class:`repro.serve.resilience.FaultInjector` is
+    armed (chaos tests and ``scripts/check_resilience.py``); production
+    configurations never construct one.
+    """
+
+    def __init__(self, site: str, **context):
+        self.site = site
+        self.context = dict(context)
+        detail = ", ".join(f"{k}={v!r}" for k, v in self.context.items())
+        super().__init__(
+            f"injected fault at site {site!r}" + (f" ({detail})" if detail else "")
+        )
+
+
+class ResultTimeoutError(ServiceError):
+    """``PendingResult.result(timeout)`` gave up waiting.
+
+    Distinguishes "the caller stopped waiting" from terminal service
+    errors (shed, evicted, deadline-exceeded...): seeing this error means
+    the future itself never completed -- the chaos gate treats it as a hung
+    request, which the resilience layer must never produce.
+    """
+
+    def __init__(self, timeout: float | None):
+        self.timeout = timeout
+        super().__init__(f"request did not complete within {timeout} seconds")

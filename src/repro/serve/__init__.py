@@ -24,7 +24,12 @@ moving parts, front to back:
   events live in :mod:`repro.obs` too),
 * :mod:`repro.serve.service` -- the front-end wiring it all together with
   backpressure and cross-request deduplication of identical in-flight
-  signatures, and
+  signatures,
+* :mod:`repro.serve.resilience` -- the always-on safety net: per-request
+  deadlines, retry with jittered backoff, per-(model, shard) circuit
+  breakers with stale-cache degradation, a shard supervisor that restarts
+  dead/wedged workers, and the deterministic :class:`FaultInjector` the
+  chaos gate (``scripts/check_resilience.py``) drives them with, and
 * :mod:`repro.serve.streams` -- simulated camera streams for load tests,
   demos and benchmarks.
 
@@ -39,7 +44,15 @@ Quick start (see :mod:`repro.api` for the full lifecycle facade)
 ...     service.swap_model("hall", new_snapshot)  # zero-drop hot-reload
 """
 
-from repro.errors import ModelEvictedError, UnknownModelError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InjectedFaultError,
+    ModelEvictedError,
+    ResultTimeoutError,
+    ShardFailedError,
+    UnknownModelError,
+)
 from repro.serve.batching import MicroBatch, MicroBatchScheduler
 from repro.serve.cache import CachedOutcome, SignatureLruCache
 from repro.serve.metrics import MetricsSnapshot, ServiceMetrics
@@ -48,6 +61,22 @@ from repro.serve.request import (
     ClassificationRequest,
     ClassificationResponse,
     PendingResult,
+)
+from repro.serve.resilience import (
+    CACHE_CODEC,
+    FAULT_SITES,
+    KERNEL_HANG,
+    KERNEL_RAISE,
+    SHARD_DEATH,
+    SWAP_FAILURE,
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    ShardSupervisor,
+    SupervisorConfig,
 )
 from repro.serve.service import ServiceConfig, StreamingInferenceService
 from repro.serve.shard import ShardGroup, WorkerShard
@@ -64,9 +93,28 @@ __all__ = [
     "ModelSource",
     "ModelEvictedError",
     "UnknownModelError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "InjectedFaultError",
+    "ResultTimeoutError",
+    "ShardFailedError",
     "ClassificationRequest",
     "ClassificationResponse",
     "PendingResult",
+    "CACHE_CODEC",
+    "FAULT_SITES",
+    "KERNEL_HANG",
+    "KERNEL_RAISE",
+    "SHARD_DEATH",
+    "SWAP_FAILURE",
+    "BreakerBoard",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "ShardSupervisor",
+    "SupervisorConfig",
     "ServiceConfig",
     "StreamingInferenceService",
     "ShardGroup",

@@ -20,6 +20,7 @@ dispatcher thread drives :meth:`due` off :meth:`next_deadline`.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from dataclasses import dataclass
@@ -62,6 +63,29 @@ class MicroBatch:
     def fill_fraction(self) -> float:
         """How full the batch was when cut (1.0 = size-triggered flush)."""
         return len(self.requests) / float(self.capacity)
+
+    def partition_expired(
+        self, now: float
+    ) -> tuple[Optional["MicroBatch"], Optional["MicroBatch"]]:
+        """Split into ``(live, expired)`` sub-batches by request deadline.
+
+        Deadline shedding happens twice -- at dispatch and again just
+        before kernel launch -- and both sites use this split so the live
+        remainder keeps its batch metadata (capacity, flush reason, cut
+        time) for telemetry.  The common no-deadline case returns
+        ``(self, None)`` without allocating.
+        """
+        if all(r.deadline_at is None for r in self.requests):
+            return self, None
+        live = tuple(r for r in self.requests if not r.expired(now))
+        if len(live) == len(self.requests):
+            return self, None
+        expired = tuple(r for r in self.requests if r.expired(now))
+        live_batch = (
+            dataclasses.replace(self, requests=live) if live else None
+        )
+        expired_batch = dataclasses.replace(self, requests=expired)
+        return live_batch, expired_batch
 
 
 class MicroBatchScheduler:

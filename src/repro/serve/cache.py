@@ -14,6 +14,13 @@ re-packs per lookup.
 The cache stores the *outcome* (label, neuron, distance, rejection,
 confidence), not the response object, because latency and stream identity
 differ per request even when the classification is identical.
+
+Entries dropped from the live tier -- by LRU eviction or
+``invalidate_model`` -- are demoted into a second, bounded *stale* tier
+rather than discarded.  Stale entries never answer normal lookups; the
+service consults them (``get_stale``) only while every shard circuit
+breaker of a model is open, trading freshness for availability and
+flagging the response ``stale=True``.
 """
 
 from __future__ import annotations
@@ -21,9 +28,13 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
+from repro.serve.resilience import CACHE_CODEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.resilience import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -47,20 +58,57 @@ class SignatureLruCache:
         evicted when a new one would exceed it.  A capacity of 0 disables
         the cache (every ``get`` misses, ``put`` is a no-op), which the
         benchmarks use to isolate batching gains from caching gains.
+    stale_capacity:
+        Maximum number of entries in the stale (degradation) tier that
+        evicted/invalidated entries demote into; defaults to ``capacity``.
+        0 disables the tier.
+    fault_injector:
+        Optional :class:`~repro.serve.resilience.FaultInjector`; when armed
+        for the ``cache_codec`` site, ``get``/``put`` raise
+        :class:`~repro.errors.InjectedFaultError` (simulating a corrupt
+        entry/codec bug) so tests can prove the service degrades a cache
+        error to a miss instead of failing the request.
     """
 
-    def __init__(self, capacity: int = 2048):
+    def __init__(
+        self,
+        capacity: int = 2048,
+        *,
+        stale_capacity: Optional[int] = None,
+        fault_injector: Optional["FaultInjector"] = None,
+    ):
         if capacity < 0:
             raise ConfigurationError(f"capacity must be non-negative, got {capacity}")
+        if stale_capacity is None:
+            stale_capacity = capacity
+        if stale_capacity < 0:
+            raise ConfigurationError(
+                f"stale_capacity must be non-negative, got {stale_capacity}"
+            )
         self.capacity = int(capacity)
+        self.stale_capacity = int(stale_capacity)
+        self._injector = fault_injector
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple[str, bytes], CachedOutcome]" = OrderedDict()
+        self._stale: "OrderedDict[tuple[str, bytes], CachedOutcome]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.stale_hits = 0
+
+    def _demote_unlocked(self, full_key: tuple[str, bytes], outcome: CachedOutcome):
+        # Caller holds the lock.  Most-recent demotion wins the slot.
+        if self.stale_capacity == 0:
+            return
+        self._stale[full_key] = outcome
+        self._stale.move_to_end(full_key)
+        while len(self._stale) > self.stale_capacity:
+            self._stale.popitem(last=False)
 
     def get(self, model: str, key: bytes) -> Optional[CachedOutcome]:
         """Look up a signature; counts a hit or miss and refreshes recency."""
+        if self._injector is not None:
+            self._injector.raise_if(CACHE_CODEC, op="get", model=model)
         with self._lock:
             outcome = self._entries.get((model, key))
             if outcome is None:
@@ -70,30 +118,56 @@ class SignatureLruCache:
             self.hits += 1
             return outcome
 
+    def get_stale(self, model: str, key: bytes) -> Optional[CachedOutcome]:
+        """Degradation lookup in the stale tier (breaker-open fallback).
+
+        Checks the live tier first -- a live entry is strictly better --
+        then the stale tier.  Does not count toward hit/miss statistics
+        (it is not on the normal serving path) but tracks ``stale_hits``.
+        """
+        with self._lock:
+            outcome = self._entries.get((model, key))
+            if outcome is not None:
+                return outcome
+            outcome = self._stale.get((model, key))
+            if outcome is not None:
+                self.stale_hits += 1
+            return outcome
+
     def put(self, model: str, key: bytes, outcome: CachedOutcome) -> None:
         """Insert or refresh an entry, evicting the LRU one when full."""
         if self.capacity == 0:
             return
+        if self._injector is not None:
+            self._injector.raise_if(CACHE_CODEC, op="put", model=model)
         with self._lock:
             full_key = (model, key)
             if full_key in self._entries:
                 self._entries.move_to_end(full_key)
             self._entries[full_key] = outcome
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted_key, evicted = self._entries.popitem(last=False)
+                self._demote_unlocked(evicted_key, evicted)
                 self.evictions += 1
 
     def invalidate_model(self, model: str) -> int:
-        """Drop every entry of one model (used when the registry evicts it)."""
+        """Demote every live entry of one model to the stale tier.
+
+        Used on hot-swap and eviction: the outcomes may no longer match the
+        serving weights, so they must not answer normal lookups -- but they
+        remain available for breaker-open degradation, where an answer from
+        the previous snapshot beats no answer at all.
+        """
         with self._lock:
-            stale = [k for k in self._entries if k[0] == model]
-            for k in stale:
-                del self._entries[k]
-            return len(stale)
+            dropped = [k for k in self._entries if k[0] == model]
+            for k in dropped:
+                self._demote_unlocked(k, self._entries.pop(k))
+            return len(dropped)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._stale.clear()
 
     def __len__(self) -> int:
         with self._lock:

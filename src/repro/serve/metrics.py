@@ -35,7 +35,18 @@ Registry metric names (the vocabulary ``BENCH_serve.json`` will commit):
 ``serve_batch_size_sum``                    counter    summed batch sizes
 ``serve_request_latency_seconds``           histogram  submit-to-resolve
 ``serve_shard_queue_depth{shard=...}``      gauge      queued batches
+``serve_retries_total``                     counter    submit retries (backoff)
+``serve_deadline_exceeded_total``           counter    requests shed past deadline
+``serve_stale_hits_total``                  counter    stale-cache degradations
+``serve_shard_restarts_total``              counter    supervisor restarts
+``serve_cache_errors_total``                counter    cache faults -> miss
+``serve_shard_leaks_total``                 counter    wedged threads at stop
+``serve_breaker_state{model,shard}``        gauge      0 closed/1 half/2 open
 ==========================================  =========  =======================
+
+(The breaker-state gauge is owned by
+:class:`repro.serve.resilience.BreakerBoard`; it lives in the same
+registry so exporters see it alongside the counters above.)
 """
 
 from __future__ import annotations
@@ -77,6 +88,21 @@ class MetricsSnapshot:
     latency_p50_ms, latency_p95_ms, latency_p99_ms, latency_p999_ms:
         Percentile estimates from the latency histogram, rendered in
         milliseconds (stored in seconds internally).
+    retries:
+        Submit attempts re-tried under the backoff policy after a
+        transient :class:`~repro.errors.ServiceOverloadedError`.
+    deadline_exceeded:
+        Requests shed because their ``deadline_s`` budget expired before a
+        kernel could score them.
+    stale_hits:
+        Requests answered from the stale cache tier while every shard
+        breaker of their model was open (graceful degradation).
+    shard_restarts:
+        Dead/wedged workers replaced by the shard supervisor.
+    cache_errors:
+        Cache get/put faults degraded to misses (request still served).
+    shard_leaks:
+        Worker threads that failed to join at stop (wedged past timeout).
     queue_depths:
         Batches queued per shard, keyed by shard name, at snapshot time.
     """
@@ -96,6 +122,12 @@ class MetricsSnapshot:
     latency_p95_ms: float
     latency_p99_ms: float
     latency_p999_ms: float = 0.0
+    retries: int = 0
+    deadline_exceeded: int = 0
+    stale_hits: int = 0
+    shard_restarts: int = 0
+    cache_errors: int = 0
+    shard_leaks: int = 0
     queue_depths: dict[str, int] = field(default_factory=dict)
 
 
@@ -150,6 +182,29 @@ class ServiceMetrics:
             "serve_request_latency_seconds",
             help="Submit-to-resolve request latency in seconds",
         )
+        self._retries = reg.counter(
+            "serve_retries_total", help="Submit retries under the backoff policy"
+        )
+        self._deadline_exceeded = reg.counter(
+            "serve_deadline_exceeded_total",
+            help="Requests shed because their deadline expired",
+        )
+        self._stale_hits = reg.counter(
+            "serve_stale_hits_total",
+            help="Requests answered from the stale cache tier (breaker open)",
+        )
+        self._shard_restarts = reg.counter(
+            "serve_shard_restarts_total",
+            help="Dead/wedged workers replaced by the supervisor",
+        )
+        self._cache_errors = reg.counter(
+            "serve_cache_errors_total",
+            help="Signature-cache faults degraded to misses",
+        )
+        self._shard_leaks = reg.counter(
+            "serve_shard_leaks_total",
+            help="Worker threads that failed to join at stop",
+        )
 
     # ------------------------------------------------------------------ #
     # Recording (hot path)
@@ -199,6 +254,30 @@ class ServiceMetrics:
         self._fill_sum.inc(float(fill_fraction))
         self._size_sum.inc(int(size))
 
+    def record_retry(self, count: int = 1) -> None:
+        """Count a submit re-attempt under the retry/backoff policy."""
+        self._retries.inc(int(count))
+
+    def record_deadline_exceeded(self, count: int = 1) -> None:
+        """Count requests shed because their deadline expired."""
+        self._deadline_exceeded.inc(int(count))
+
+    def record_stale_hit(self, count: int = 1) -> None:
+        """Count stale-cache answers served while a breaker was open."""
+        self._stale_hits.inc(int(count))
+
+    def record_shard_restart(self, count: int = 1) -> None:
+        """Count supervisor restarts of dead/wedged workers."""
+        self._shard_restarts.inc(int(count))
+
+    def record_cache_error(self, count: int = 1) -> None:
+        """Count cache get/put faults degraded to misses."""
+        self._cache_errors.inc(int(count))
+
+    def record_shard_leak(self, count: int = 1) -> None:
+        """Count worker threads that failed to join at stop."""
+        self._shard_leaks.inc(int(count))
+
     # ------------------------------------------------------------------ #
     # Legacy attribute surface (reads the registry counters)
     # ------------------------------------------------------------------ #
@@ -233,6 +312,30 @@ class ServiceMetrics:
     @property
     def batches_total(self) -> int:
         return int(self._batches.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value)
+
+    @property
+    def deadline_exceeded(self) -> int:
+        return int(self._deadline_exceeded.value)
+
+    @property
+    def stale_hits(self) -> int:
+        return int(self._stale_hits.value)
+
+    @property
+    def shard_restarts(self) -> int:
+        return int(self._shard_restarts.value)
+
+    @property
+    def cache_errors(self) -> int:
+        return int(self._cache_errors.value)
+
+    @property
+    def shard_leaks(self) -> int:
+        return int(self._shard_leaks.value)
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -275,5 +378,11 @@ class ServiceMetrics:
             latency_p95_ms=self._latency.quantile(0.95) * 1e3,
             latency_p99_ms=self._latency.quantile(0.99) * 1e3,
             latency_p999_ms=self._latency.quantile(0.999) * 1e3,
+            retries=int(self._retries.value),
+            deadline_exceeded=int(self._deadline_exceeded.value),
+            stale_hits=int(self._stale_hits.value),
+            shard_restarts=int(self._shard_restarts.value),
+            cache_errors=int(self._cache_errors.value),
+            shard_leaks=int(self._shard_leaks.value),
             queue_depths=depths,
         )

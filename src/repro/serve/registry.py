@@ -42,7 +42,8 @@ from repro.errors import (
 from repro.obs.events import EventLog
 from repro.serve.batching import MicroBatch
 from repro.serve.request import resolve_requests
-from repro.serve.shard import ShardGroup, WorkerShard
+from repro.serve.resilience import SWAP_FAILURE, FaultInjector
+from repro.serve.shard import BreakerGate, ShardGroup, WorkerShard
 
 #: What the registration/swap entry points accept as a model.
 ModelSource = Union[SomClassifier, ModelSnapshot]
@@ -66,6 +67,10 @@ class ModelRegistry:
     clock:
         Monotonic time source forwarded to the shards for trace
         timestamps; a binding service passes its own clock.
+    fault_injector:
+        Optional :class:`~repro.serve.resilience.FaultInjector`; forwarded
+        to every shard (kernel/death sites) and consulted by :meth:`swap`
+        (the ``swap_failure`` site).
     """
 
     def __init__(
@@ -76,6 +81,7 @@ class ModelRegistry:
         queue_capacity: int = 8,
         backend=None,
         clock: Callable[[], float] = time.monotonic,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
@@ -84,6 +90,8 @@ class ModelRegistry:
         self.queue_capacity = int(queue_capacity)
         self.backend = backend
         self._clock = clock
+        self._injector = fault_injector
+        self._breaker_gate: Optional[BreakerGate] = None
         self._events: Optional[EventLog] = None
         self._lock = threading.Lock()
         self._groups: dict[str, ShardGroup] = {}
@@ -125,6 +133,20 @@ class ModelRegistry:
         self._completion = completion
         self._failure = failure
         self._retired = retired
+
+    def bind_breakers(self, gate: BreakerGate) -> None:
+        """Install a circuit-breaker routing gate on every shard group.
+
+        ``gate(model, shard_name)`` is consulted by each group's router
+        before offering a batch to a shard (typically
+        :meth:`repro.serve.resilience.BreakerBoard.allow`).  Applied to
+        already-registered groups and to every future registration.
+        """
+        with self._lock:
+            self._breaker_gate = gate
+            groups = list(self._groups.values())
+        for group in groups:
+            group.breaker_gate = gate
 
     def bind_events(self, events: EventLog) -> None:
         """Attach a structured event log for lifecycle transitions.
@@ -216,7 +238,9 @@ class ModelRegistry:
                 # Backend selection and operand warm-up already applied above.
                 backend=None,
                 clock=self._clock,
+                fault_injector=self._injector,
             )
+            group.breaker_gate = self._breaker_gate
             self._groups[name] = group
             self._classifiers[name] = classifier
             if self._started:
@@ -254,6 +278,11 @@ class ModelRegistry:
         model must consume the same signature width as the old one
         (queued requests were packed for that width); the neuron count may
         change freely.
+
+        A failure anywhere before the flip -- validation, operand
+        preparation, or the injected ``swap_failure`` site -- leaves the
+        old classifier serving untouched: the swap is atomic from the
+        queues' point of view.
         """
         classifier = self._materialise(name, model)
         current = self.classifier(name)  # raises UnknownModelError
@@ -263,6 +292,8 @@ class ModelRegistry:
                 f"{current.som.n_bits}-bit signatures but the new model expects "
                 f"{classifier.som.n_bits} bits"
             )
+        if self._injector is not None:
+            self._injector.raise_if(SWAP_FAILURE, model=name)
         self._prepare_for_serving(classifier)
         with self._lock:
             group = self._groups.get(name)
@@ -334,6 +365,17 @@ class ModelRegistry:
         with self._lock:
             return tuple(self._groups)
 
+    def iter_shards(self) -> list[tuple[str, WorkerShard]]:
+        """Snapshot of ``(model, shard)`` pairs across every registered
+        model (the supervisor's scan surface)."""
+        with self._lock:
+            groups = list(self._groups.items())
+        return [(model, shard) for model, group in groups for shard in group.shards]
+
+    def shard_names(self, model: str) -> tuple[str, ...]:
+        """Shard names of one model (the breaker board's key space)."""
+        return tuple(shard.name for shard in self.group(model).shards)
+
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._groups
@@ -352,12 +394,24 @@ class ModelRegistry:
         for group in groups:
             group.start()
 
-    def stop(self, timeout: float = 5.0) -> None:
+    def stop(self, timeout: float = 5.0) -> list[str]:
+        """Stop every shard of every model; returns leaked worker names.
+
+        A leaked worker -- one that failed to join within ``timeout``
+        (wedged kernel, starved host) -- is reported per shard by
+        :meth:`WorkerShard.stop`; the registry aggregates the names and
+        emits one ``shard_leak`` event each, so a shutdown that strands a
+        thread is visible in telemetry instead of silent.
+        """
         with self._lock:
             self._started = False
             groups = list(self._groups.values())
+        leaked: list[str] = []
         for group in groups:
-            group.stop(timeout)
+            leaked.extend(group.stop(timeout))
+        for name in leaked:
+            self._emit("shard_leak", shard=name)
+        return leaked
 
     def queue_depths(self) -> dict[str, int]:
         """Queued batches per shard across every registered model."""

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import ServiceError
+from repro.errors import ResultTimeoutError
 from repro.obs.trace import Trace
 
 
@@ -54,6 +54,11 @@ class ClassificationResponse:
         ``True`` when the answer was fanned out from another in-flight
         request with an identical packed signature -- the SOM executed one
         kernel for the whole group and this response rode along.
+    stale:
+        ``True`` when the answer came from the *stale* tier of the
+        signature cache while every shard circuit breaker of the model was
+        open (graceful degradation) -- the outcome may predate a hot-swap.
+        Always ``cached=True`` as well.
     trace_id:
         Id of the request's trace when it was sampled
         (:class:`repro.obs.Tracer`); retrieve the full span breakdown with
@@ -72,6 +77,7 @@ class ClassificationResponse:
     cached: bool
     latency_s: float
     deduplicated: bool = False
+    stale: bool = False
     trace_id: Optional[int] = None
 
 
@@ -105,9 +111,7 @@ class PendingResult:
     def result(self, timeout: Optional[float] = None) -> ClassificationResponse:
         """Block until the response arrives; re-raise shard-side errors."""
         if not self._event.wait(timeout):
-            raise ServiceError(
-                f"request did not complete within {timeout} seconds"
-            )
+            raise ResultTimeoutError(timeout)
         if self._error is not None:
             raise self._error
         assert self._response is not None
@@ -136,6 +140,12 @@ class ClassificationRequest:
     worker shard and the completion path each stamp their stage spans onto
     it, so a single object reference carries the whole queue -> batch ->
     kernel -> resolve attribution across threads.
+
+    ``deadline_at`` is the absolute monotonic clock value after which the
+    caller no longer wants an answer (``None`` = no deadline).  The service
+    sheds expired requests at dispatch time and the shard sheds again just
+    before kernel launch, each with a terminal
+    :class:`~repro.errors.DeadlineExceededError`.
     """
 
     signature: np.ndarray
@@ -149,6 +159,11 @@ class ClassificationRequest:
     generation: int = 0
     followers: list["ClassificationRequest"] = field(default_factory=list)
     trace: Optional[Trace] = None
+    deadline_at: Optional[float] = None
+
+    def expired(self, now: float) -> bool:
+        """Whether the request's deadline has passed at clock value ``now``."""
+        return self.deadline_at is not None and now > self.deadline_at
 
     @property
     def trace_id(self) -> Optional[int]:

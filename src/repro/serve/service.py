@@ -42,16 +42,27 @@ import numpy as np
 from repro.core.classifier import BatchPrediction, SomClassifier
 from repro.core.serialization import PathLike
 from repro.errors import (
+    CircuitOpenError,
     ConfigurationError,
+    DeadlineExceededError,
     ModelEvictedError,
     ServiceError,
     ServiceOverloadedError,
+    ShardFailedError,
 )
 from repro.obs import Observability
 from repro.serve.batching import MicroBatch, MicroBatchScheduler
 from repro.serve.cache import CachedOutcome, SignatureLruCache
 from repro.serve.metrics import MetricsSnapshot, ServiceMetrics
 from repro.serve.registry import ModelRegistry, ModelSource
+from repro.serve.resilience import (
+    BreakerBoard,
+    BreakerConfig,
+    FaultInjector,
+    RetryPolicy,
+    ShardSupervisor,
+    SupervisorConfig,
+)
 from repro.serve.request import (
     ClassificationRequest,
     ClassificationResponse,
@@ -94,6 +105,30 @@ class ServiceConfig:
         Trace every Nth request (``1`` = all, ``0`` = tracing off).  Only
         used when the service builds its own :class:`~repro.obs.Observability`;
         a passed-in ``obs`` keeps its own sampling rate.
+    default_deadline_s:
+        Deadline budget applied to every submit that does not pass its own
+        ``deadline_s`` (``None`` = no deadline).  Expired requests are shed
+        with :class:`~repro.errors.DeadlineExceededError` before batching
+        and again before kernel launch.
+    retry:
+        :class:`~repro.serve.resilience.RetryPolicy` for transient submit
+        refusals (pending budget, open circuits).  ``None`` (default)
+        surfaces :class:`ServiceOverloadedError` to the caller on the first
+        refusal, exactly as before.
+    breaker:
+        :class:`~repro.serve.resilience.BreakerConfig` enabling
+        per-(model, shard) circuit breakers; the router skips open shards
+        and the service degrades to stale cache answers when every shard
+        of a model is open.  ``None`` (default) disables breakers.
+    supervisor:
+        :class:`~repro.serve.resilience.SupervisorConfig` for the shard
+        watchdog (dead/wedged worker detection + bounded restarts).  On by
+        default with conservative timeouts; ``None`` disables supervision.
+    fault_injector:
+        :class:`~repro.serve.resilience.FaultInjector` threaded into the
+        cache, registry and shards -- chaos tests only, ``None`` in
+        production.  Only used when the service builds its own registry;
+        a passed-in registry keeps its own injector.
     """
 
     batch_size: int = 32
@@ -105,6 +140,11 @@ class ServiceConfig:
     max_pending: int = 1024
     distance_backend: Optional[str] = None
     trace_sample_every: int = 16
+    default_deadline_s: Optional[float] = None
+    retry: Optional[RetryPolicy] = None
+    breaker: Optional[BreakerConfig] = None
+    supervisor: Optional[SupervisorConfig] = SupervisorConfig()
+    fault_injector: Optional[FaultInjector] = None
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -123,6 +163,11 @@ class ServiceConfig:
             raise ConfigurationError(
                 "trace_sample_every must be >= 0 (0 disables tracing), "
                 f"got {self.trace_sample_every}"
+            )
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ConfigurationError(
+                f"default_deadline_s must be positive or None, "
+                f"got {self.default_deadline_s}"
             )
 
 
@@ -164,6 +209,7 @@ class StreamingInferenceService:
             queue_capacity=self.config.shard_queue_capacity,
             backend=self.config.distance_backend,
             clock=clock,
+            fault_injector=self.config.fault_injector,
         )
         self.registry.bind_completion(
             self._on_batch_done, self._on_batch_failed, self._on_model_retired
@@ -175,8 +221,28 @@ class StreamingInferenceService:
             max_delay_s=self.config.max_delay_ms / 1e3,
             clock=clock,
         )
-        self.cache = SignatureLruCache(self.config.cache_capacity)
+        self.cache = SignatureLruCache(
+            self.config.cache_capacity, fault_injector=self.config.fault_injector
+        )
         self.metrics = ServiceMetrics(registry=self.obs.registry)
+        self._board: Optional[BreakerBoard] = None
+        if self.config.breaker is not None:
+            self._board = BreakerBoard(
+                self.config.breaker,
+                clock=clock,
+                registry=self.obs.registry,
+                events=self.obs.events,
+            )
+            self.registry.bind_breakers(self._board.allow)
+        self._supervisor: Optional[ShardSupervisor] = None
+        if self.config.supervisor is not None:
+            self._supervisor = ShardSupervisor(
+                self.registry,
+                config=self.config.supervisor,
+                clock=clock,
+                on_restart=self._on_shard_restart,
+                on_disabled=self._on_shard_disabled,
+            )
         self.obs.registry.gauge(
             "serve_pending_requests",
             fn=lambda: float(self.pending_requests),
@@ -214,6 +280,8 @@ class StreamingInferenceService:
             return self
         self._stop_event.clear()
         self.registry.start()
+        if self._supervisor is not None:
+            self._supervisor.start()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="serve-dispatcher", daemon=True
         )
@@ -226,6 +294,10 @@ class StreamingInferenceService:
             if not self._running:
                 return
             self._running = False
+        # The watchdog goes first: a restart racing the shard teardown
+        # below would resurrect workers the registry is trying to join.
+        if self._supervisor is not None:
+            self._supervisor.stop()
         self._stop_event.set()
         self._wake.set()
         if self._dispatcher is not None:
@@ -234,7 +306,9 @@ class StreamingInferenceService:
         # Push whatever is still buffered through the shards, then drain them.
         for batch in self.scheduler.drain():
             self._dispatch(batch)
-        self.registry.stop(timeout)
+        leaked = self.registry.stop(timeout)
+        if leaked:
+            self.metrics.record_shard_leak(len(leaked))
 
     def __enter__(self) -> "StreamingInferenceService":
         return self.start()
@@ -315,21 +389,72 @@ class StreamingInferenceService:
     # Submission
     # ------------------------------------------------------------------ #
     def submit(
-        self, signature: np.ndarray, *, model: str, stream_id: str = ""
+        self,
+        signature: np.ndarray,
+        *,
+        model: str,
+        stream_id: str = "",
+        deadline_s: Optional[float] = None,
     ) -> PendingResult:
         """Queue one signature for classification; returns its future.
 
         Cache hits resolve before this method returns.  Raises
         :class:`ServiceOverloadedError` when the service-wide pending
-        budget is full, and :class:`UnknownModelError` for an unregistered
-        model name.  Shard-queue saturation is only detectable at dispatch
-        time (the batch holds other callers' requests and may be cut by the
-        deadline thread), so that flavour of backpressure is delivered
-        through the future: ``result()`` re-raises the
-        :class:`ServiceOverloadedError` for every request of the shed
-        batch.  Callers should treat both paths as "retry later";
+        budget is full (or, as :class:`~repro.errors.CircuitOpenError`,
+        when every shard breaker of the model is open and no stale cache
+        entry could answer), and :class:`UnknownModelError` for an
+        unregistered model name.  Shard-queue saturation is only
+        detectable at dispatch time (the batch holds other callers'
+        requests and may be cut by the deadline thread), so that flavour
+        of backpressure is delivered through the future: ``result()``
+        re-raises the :class:`ServiceOverloadedError` for every request of
+        the shed batch.  Callers should treat both paths as "retry later";
         :func:`repro.serve.streams.drive_streams` shows the pattern.
+
+        When ``config.retry`` is set, transient submit-time refusals are
+        retried here under jittered exponential backoff -- bounded by the
+        policy's ``max_attempts`` and by the request's deadline (the
+        service never sleeps past ``deadline_at``).  A refused submit
+        leaves no admitted state behind, so retries cannot stack orphaned
+        requests against the pending budget.
+
+        ``deadline_s`` (defaulting to ``config.default_deadline_s``) is
+        the caller's total latency budget: requests that exceed it are
+        shed with :class:`~repro.errors.DeadlineExceededError` at dispatch
+        or pre-kernel instead of consuming a kernel they can no longer
+        use.
         """
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        deadline_at = None if deadline_s is None else self._clock() + deadline_s
+        policy = self.config.retry
+        attempt = 0
+        while True:
+            try:
+                return self._submit_once(
+                    signature,
+                    model=model,
+                    stream_id=stream_id,
+                    deadline_at=deadline_at,
+                )
+            except ServiceOverloadedError:
+                attempt += 1
+                if policy is None or attempt >= policy.max_attempts:
+                    raise
+                delay = policy.delay_s(attempt)
+                if deadline_at is not None and self._clock() + delay >= deadline_at:
+                    raise  # the backoff would outlive the deadline
+                self.metrics.record_retry()
+                time.sleep(delay)
+
+    def _submit_once(
+        self,
+        signature: np.ndarray,
+        *,
+        model: str,
+        stream_id: str,
+        deadline_at: Optional[float],
+    ) -> PendingResult:
         if not self._running:
             raise ServiceError("the service is not running; call start() first")
         classifier = self.registry.classifier(model)  # raises UnknownModelError
@@ -352,7 +477,14 @@ class StreamingInferenceService:
             t=now, model=model, stream_id=stream_id, request_id=request_id
         )
 
-        outcome = self.cache.get(model, key)
+        try:
+            outcome = self.cache.get(model, key)
+        except Exception:
+            # A corrupt entry / codec bug in the cache must degrade to a
+            # miss, not fail the request: the SOM can always re-derive the
+            # answer.  Counted so an elevated error rate is visible.
+            self.metrics.record_cache_error()
+            outcome = None
         if outcome is not None:
             self.metrics.record_request()
             self.metrics.record_cache(hit=True)
@@ -423,6 +555,54 @@ class StreamingInferenceService:
                 )
                 return follower.pending
 
+        if self._board is not None:
+            shard_names = self.registry.shard_names(model)
+            if not self._board.would_allow_any(model, shard_names):
+                # Every shard breaker of the model is open: degrade to the
+                # stale cache tier if it can answer (flagged stale=True),
+                # otherwise shed with CircuitOpenError so the retry policy
+                # backs off until a half-open probe closes a breaker.
+                stale = self.cache.get_stale(model, key)
+                if stale is not None:
+                    self.metrics.record_request()
+                    self.metrics.record_stale_hit()
+                    self.obs.events.emit(
+                        "stale_hit", model=model, request_id=request_id
+                    )
+                    pending = PendingResult()
+                    response = ClassificationResponse(
+                        label=stale.label,
+                        neuron=stale.neuron,
+                        distance=stale.distance,
+                        rejected=stale.rejected,
+                        confidence=stale.confidence,
+                        model=model,
+                        stream_id=stream_id,
+                        request_id=request_id,
+                        cached=True,
+                        latency_s=max(0.0, self._clock() - now),
+                        stale=True,
+                        trace_id=trace.trace_id if trace is not None else None,
+                    )
+                    if trace is not None:
+                        done = now + response.latency_s
+                        trace.span("cache", start=now, end=done, hit=True, stale=True)
+                        trace.finish("ok", t=done, cached=True, stale=True)
+                    pending.set_result(response)
+                    self.metrics.record_response(response.latency_s)
+                    return pending
+                self.metrics.record_backpressure()
+                self.obs.events.emit(
+                    "shed", model=model, reason="circuit_open", count=1
+                )
+                if trace is not None:
+                    trace.finish("shed", reason="circuit_open")
+                raise CircuitOpenError(
+                    model,
+                    open_shards=len(shard_names),
+                    total_shards=len(shard_names),
+                )
+
         with self._pending_lock:
             if self._pending >= self.config.max_pending:
                 # Refused attempts count as backpressure only -- neither a
@@ -453,6 +633,7 @@ class StreamingInferenceService:
             packed=packed,
             generation=self._generation_of(model),
             trace=trace,
+            deadline_at=deadline_at,
         )
         if trace is not None:
             trace.begin("queue", t=now)
@@ -466,10 +647,17 @@ class StreamingInferenceService:
                 # instead of stranding the request in a drained lane.
                 with self._pending_lock:
                     self._pending -= 1
+                # Retire the dedup entry first: the follower list is frozen
+                # after this, so the fan-out below cannot miss a follower
+                # that attached between setdefault and the running check.
                 self._drop_inflight(request)
-                if trace is not None:
-                    trace.finish("error", error="ServiceError")
-                raise ServiceError("the service is not running; call start() first")
+                error = ServiceError(
+                    "the service is not running; call start() first"
+                )
+                self._finish_failed_traces(request, "error", error)
+                for follower in request.followers:
+                    follower.pending.set_exception(error)
+                raise error
             full_batch = self.scheduler.submit(request)
             if full_batch is not None:
                 # Dispatch inside the lock so stop() cannot slip its shard
@@ -479,32 +667,36 @@ class StreamingInferenceService:
             self._wake.set()
         return request.pending
 
-    def classify(
+    def submit_many(
         self,
-        model: str,
         X: np.ndarray,
         *,
+        model: str,
         stream_id: str = "",
-        timeout: float = 30.0,
-    ) -> list[ClassificationResponse]:
-        """Synchronous convenience: submit every row of ``X`` and wait.
+        deadline_s: Optional[float] = None,
+        drain_timeout_s: float = 30.0,
+    ) -> list[PendingResult]:
+        """Submit every row of ``X``; returns one future per row.
 
-        This is the path :class:`repro.pipeline.system.RecognitionSystem`
-        uses to push a frame's silhouettes through the service.
-
-        All-or-nothing: if a row's ``submit`` is refused with
-        :class:`ServiceOverloadedError`, the rows already submitted are
-        drained (their results awaited and discarded) before the error is
-        re-raised, so a retrying caller does not stack orphaned requests
-        onto the already-saturated pending budget.
+        All-or-nothing admission: if a row's ``submit`` is refused with
+        :class:`ServiceOverloadedError` (after the retry policy, if any,
+        gave up), the rows already submitted are drained -- their results
+        awaited and discarded, dedup followers included, since a follower's
+        future resolves with its primary -- before the error is re-raised.
+        A retrying caller therefore never stacks orphaned requests onto the
+        already-saturated pending budget.
         """
         X = np.asarray(X)
         if X.ndim == 1:
             X = X[np.newaxis, :]
-        futures = []
+        futures: list[PendingResult] = []
         try:
             for row in X:
-                futures.append(self.submit(row, model=model, stream_id=stream_id))
+                futures.append(
+                    self.submit(
+                        row, model=model, stream_id=stream_id, deadline_s=deadline_s
+                    )
+                )
         except ServiceOverloadedError:
             # Drain without flushing: the deadline dispatcher cuts the
             # orphans' lane within max_delay_ms, and a global flush here
@@ -512,10 +704,35 @@ class StreamingInferenceService:
             # the exact moment the service is saturated.
             for future in futures:
                 try:
-                    future.result(timeout)
+                    future.result(drain_timeout_s)
                 except ServiceError:
                     pass
             raise
+        return futures
+
+    def classify(
+        self,
+        model: str,
+        X: np.ndarray,
+        *,
+        stream_id: str = "",
+        timeout: float = 30.0,
+        deadline_s: Optional[float] = None,
+    ) -> list[ClassificationResponse]:
+        """Synchronous convenience: submit every row of ``X`` and wait.
+
+        This is the path :class:`repro.pipeline.system.RecognitionSystem`
+        uses to push a frame's silhouettes through the service.  Delegates
+        admission (and its all-or-nothing overload drain) to
+        :meth:`submit_many`.
+        """
+        futures = self.submit_many(
+            X,
+            model=model,
+            stream_id=stream_id,
+            deadline_s=deadline_s,
+            drain_timeout_s=timeout,
+        )
         return [future.result(timeout) for future in futures]
 
     def flush(self) -> None:
@@ -574,7 +791,37 @@ class StreamingInferenceService:
             for follower in request.followers:
                 follower.pending.set_exception(error)
 
+    def _shed_expired(self, batch: MicroBatch) -> None:
+        """Fail an expired sub-batch terminally (``deadline_exceeded``).
+
+        Releases the pending budget and retires dedup entries exactly like
+        the other failure paths, so a shed request can never wedge the
+        admission accounting.
+        """
+        error = DeadlineExceededError(batch.model)
+        self.metrics.record_deadline_exceeded(len(batch))
+        self.obs.events.emit(
+            "shed", model=batch.model, reason="deadline_exceeded", count=len(batch)
+        )
+        with self._pending_lock:
+            self._pending -= len(batch)
+        for request in batch.requests:
+            self._drop_inflight(request)
+            self._finish_failed_traces(request, "shed", error)
+            request.pending.set_exception(error)
+            for follower in request.followers:
+                follower.pending.set_exception(error)
+
     def _dispatch(self, batch: MicroBatch) -> None:
+        # First deadline shed: requests that expired while waiting for
+        # their batch to be cut never reach a shard queue.  (The shard
+        # sheds once more just before kernel launch.)
+        live, expired = batch.partition_expired(self._clock())
+        if expired is not None:
+            self._shed_expired(expired)
+        if live is None:
+            return
+        batch = live
         self.metrics.record_batch(len(batch), batch.fill_fraction)
         for request in batch.requests:
             if request.trace is not None:
@@ -610,6 +857,8 @@ class StreamingInferenceService:
                 if follower.trace is not None:
                     follower.trace.finish("ok", label=label, deduplicated=True)
         responses = resolve_requests(batch.requests, prediction, clock=self._clock)
+        if self._board is not None:
+            self._board.record(batch.model, shard.name, ok=True)
         with self._pending_lock:
             self._pending -= len(batch)
         for request, response in zip(batch.requests, responses):
@@ -627,17 +876,22 @@ class StreamingInferenceService:
             for request, response in zip(batch.requests, responses):
                 if request.generation != current:
                     continue
-                self.cache.put(
-                    request.model,
-                    request.cache_key,
-                    CachedOutcome(
-                        label=response.label,
-                        neuron=response.neuron,
-                        distance=response.distance,
-                        rejected=response.rejected,
-                        confidence=response.confidence,
-                    ),
-                )
+                try:
+                    self.cache.put(
+                        request.model,
+                        request.cache_key,
+                        CachedOutcome(
+                            label=response.label,
+                            neuron=response.neuron,
+                            distance=response.distance,
+                            rejected=response.rejected,
+                            confidence=response.confidence,
+                        ),
+                    )
+                except Exception:
+                    # A cache write fault loses a memoisation, nothing
+                    # else: the response was already delivered above.
+                    self.metrics.record_cache_error()
 
     def _on_batch_failed(
         self, shard: WorkerShard, batch: MicroBatch, error: BaseException
@@ -646,14 +900,51 @@ class StreamingInferenceService:
         # release the pending-budget slots so a failing model cannot
         # permanently exhaust max_pending, and fan the error out to any
         # deduplicated followers.
+        deadline = isinstance(error, DeadlineExceededError)
+        if deadline:
+            # The shard's pre-kernel shed: account it as a deadline shed,
+            # not a model failure.
+            self.metrics.record_deadline_exceeded(len(batch))
+            self.obs.events.emit(
+                "shed",
+                model=batch.model,
+                reason="deadline_exceeded",
+                count=len(batch),
+            )
         with self._pending_lock:
             self._pending -= len(batch)
+        status = "shed" if deadline else "error"
         for request in batch.requests:
             self._drop_inflight(request)
-            self._finish_failed_traces(request, "error", error)
+            self._finish_failed_traces(request, status, error)
             for follower in request.followers:
                 if not follower.pending.done():
                     follower.pending.set_exception(error)
+        if self._board is not None and not isinstance(
+            error, (ModelEvictedError, DeadlineExceededError, ShardFailedError)
+        ):
+            # Kernel failures feed the breaker; evictions and deadline
+            # sheds say nothing about shard health, and shard deaths are
+            # recorded by the supervisor's restart hook (the failure
+            # callback may fire against a replacement-owned queue).
+            self._board.record(batch.model, shard.name, ok=False)
+
+    def _on_shard_restart(self, model: str, shard_name: str, reason: str) -> None:
+        """Supervisor hook: a dead/wedged worker was replaced."""
+        self.metrics.record_shard_restart()
+        self.obs.events.emit(
+            "shard_restart", model=model, shard=shard_name, reason=reason
+        )
+        if self._board is not None:
+            self._board.record(model, shard_name, ok=False)
+
+    def _on_shard_disabled(self, model: str, shard_name: str, reason: str) -> None:
+        """Supervisor hook: a shard exhausted its restart budget."""
+        self.obs.events.emit(
+            "shard_disabled", model=model, shard=shard_name, reason=reason
+        )
+        if self._board is not None:
+            self._board.record(model, shard_name, ok=False)
 
     def _dispatch_loop(self) -> None:
         max_idle_wait = max(self.config.max_delay_ms / 1e3, 0.01)

@@ -11,32 +11,68 @@ batch using one of two routing policies:
 
 When every shard's queue is full the group raises
 :class:`~repro.errors.ServiceOverloadedError` -- the backpressure signal the
-service surfaces to callers instead of buffering without bound.
+service surfaces to callers instead of buffering without bound.  When a
+breaker gate is bound (:class:`~repro.serve.resilience.BreakerBoard` via
+the registry) the router additionally skips shards whose circuit breaker
+is open, and raises :class:`~repro.errors.CircuitOpenError` when *every*
+shard of the model is gated off.
 
 Shards deliberately do not resolve request futures themselves: they hand
 ``(batch, BatchPrediction)`` to a completion callback supplied by the
 service, which owns the cache and the metrics.  That keeps the shard loop
 model-only and lets tests drive a shard without a full service around it.
+
+Supervision protocol
+--------------------
+Python threads cannot be killed, so a wedged worker (hung kernel) is
+*abandoned*, not stopped: the supervisor takes the in-flight batch, fails
+its futures terminally, bumps the shard's **epoch**, and starts a
+replacement thread on the same queue.  Two rules keep that race-free:
+
+* the worker **claims** its batch (:meth:`WorkerShard._claim`, under the
+  shard lock) before delivering results -- an abandoned worker's claim
+  fails because the supervisor already took the batch, so a late kernel
+  result is discarded instead of double-delivered, and
+* every busy-state mutation is guarded by the epoch captured at thread
+  start, so a stale worker can never clobber its replacement's state; on
+  its next queue read it hands the item back and exits.
 """
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
 from typing import Callable, Optional
 
 from repro.core.classifier import BatchPrediction, SomClassifier
-from repro.errors import ConfigurationError, ServiceOverloadedError
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ServiceOverloadedError,
+)
 from repro.serve.batching import MicroBatch
+from repro.serve.resilience import (
+    KERNEL_HANG,
+    KERNEL_RAISE,
+    SHARD_DEATH,
+    FaultInjector,
+)
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 #: Signature of the completion callback shards invoke after each batch.
 CompletionCallback = Callable[["WorkerShard", MicroBatch, BatchPrediction], None]
 
 #: Signature of the failure callback invoked when classification raises.
 FailureCallback = Callable[["WorkerShard", MicroBatch, BaseException], None]
+
+#: Signature of the breaker gate the router consults per (model, shard).
+BreakerGate = Callable[[str, str], bool]
 
 _ROUTING_POLICIES = ("round_robin", "least_loaded")
 
@@ -62,8 +98,12 @@ class WorkerShard:
     queue_capacity:
         Maximum queued batches before :meth:`try_submit` refuses.
     clock:
-        Monotonic time source for trace timestamps (kernel spans), shared
-        with the service's tracer; injectable for tests.
+        Monotonic time source for trace timestamps (kernel spans) and the
+        busy heartbeat the supervisor reads, shared with the service's
+        tracer; injectable for tests.
+    fault_injector:
+        Optional :class:`~repro.serve.resilience.FaultInjector`; arms the
+        ``kernel_raise`` / ``kernel_hang`` / ``shard_death`` sites.
     """
 
     def __init__(
@@ -75,6 +115,7 @@ class WorkerShard:
         failure: Optional[FailureCallback] = None,
         queue_capacity: int = 8,
         clock: Callable[[], float] = time.monotonic,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if queue_capacity <= 0:
             raise ConfigurationError(
@@ -85,12 +126,20 @@ class WorkerShard:
         self._completion = completion
         self._failure = failure
         self._clock = clock
+        self._injector = fault_injector
         self._queue: "queue.Queue[Optional[MicroBatch]]" = queue.Queue(
             maxsize=int(queue_capacity)
         )
         self._thread: Optional[threading.Thread] = None
         self._in_flight = 0
         self._lock = threading.Lock()
+        self._epoch = 0
+        self._busy_since: Optional[float] = None
+        self._current_batch: Optional[MicroBatch] = None
+        self._stopped = False
+        self._disabled = False
+        self.restarts = 0
+        self.leaked = False
         self.processed_batches = 0
         self.processed_requests = 0
 
@@ -98,30 +147,141 @@ class WorkerShard:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> None:
-        if self._thread is not None:
+        if self._thread is not None and self._thread.is_alive():
             return
+        self._stopped = False
+        with self._lock:
+            epoch = self._epoch
         self._thread = threading.Thread(
-            target=self._run, name=f"shard-{self.name}", daemon=True
+            target=self._run, args=(epoch,), name=f"shard-{self.name}", daemon=True
         )
         self._thread.start()
 
-    def stop(self, timeout: float = 5.0) -> None:
-        """Drain the queue, then stop the worker thread."""
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Drain the queue, then stop the worker thread.
+
+        Returns ``True`` when the worker exited within ``timeout``.  A
+        worker that is still alive after the join -- wedged in a kernel, or
+        starved by a saturated machine -- is *reported*, not silently
+        forgotten: the shard is flagged ``leaked``, a warning is logged,
+        and ``False`` is returned so the registry can count the leak.  The
+        daemon thread cannot block interpreter exit either way.
+        """
         if self._thread is None:
-            return
+            return True
+        self._stopped = True
         self._queue.put(None)  # sentinel; everything queued before it drains
-        self._thread.join(timeout)
+        thread = self._thread
+        thread.join(timeout)
         self._thread = None
+        if thread.is_alive():
+            self.leaked = True
+            logger.warning(
+                "worker shard %r did not stop within %.1fs; thread %s leaked",
+                self.name,
+                timeout,
+                thread.name,
+            )
+            return False
+        return True
+
+    def restart(self) -> None:
+        """Replace the worker thread (supervisor recovery path).
+
+        Bumps the epoch so the previous worker -- dead, or wedged and
+        abandoned -- can never claim a batch or clobber busy-state again,
+        then starts a fresh thread on the *same* queue, so batches queued
+        behind the failure are re-dispatched automatically.
+        """
+        with self._lock:
+            self._epoch += 1
+            epoch = self._epoch
+            self._current_batch = None
+            self._busy_since = None
+            self._in_flight = 0
+        self.restarts += 1
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(epoch,),
+            name=f"shard-{self.name}-r{self.restarts}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def abandon_current(self, error: BaseException) -> int:
+        """Fail the in-flight batch and invalidate the current worker.
+
+        The supervisor calls this for a dead or wedged worker: the batch's
+        futures become terminal with ``error``, the failure callback runs
+        (releasing the service's pending budget), and the epoch bump makes
+        any late delivery attempt by the old worker a no-op.  Returns the
+        number of requests failed.
+        """
+        with self._lock:
+            batch = self._current_batch
+            self._current_batch = None
+            self._busy_since = None
+            self._in_flight = 0
+            self._epoch += 1
+        if batch is None:
+            return 0
+        for request in batch.requests:
+            request.pending.set_exception(error)
+        if self._failure is not None:
+            self._failure(self, batch, error)
+        return len(batch)
+
+    def disable(self, error: BaseException) -> None:
+        """Take the shard out of service (restart budget exhausted).
+
+        The in-flight batch and everything queued are failed terminally;
+        :meth:`try_submit` refuses from now on, so the router stops
+        selecting this shard and the group's breaker accounting treats it
+        as permanently open.
+        """
+        self._disabled = True
+        self.abandon_current(error)
+        self.cancel_queued(error)
 
     @property
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
 
     # ------------------------------------------------------------------ #
+    # Supervisor surface
+    # ------------------------------------------------------------------ #
+    @property
+    def thread_alive(self) -> bool:
+        """Is the current worker thread alive?  (Heartbeat: liveness.)"""
+        return self._thread is not None and self._thread.is_alive()
+
+    def busy_seconds(self, now: float) -> Optional[float]:
+        """How long the worker has been on its current batch (heartbeat:
+        progress); ``None`` when idle."""
+        with self._lock:
+            if self._busy_since is None:
+                return None
+            return now - self._busy_since
+
+    @property
+    def supervisable(self) -> bool:
+        """Should the watchdog act on this shard?  Started, not stopping,
+        not disabled."""
+        return self._thread is not None and not self._stopped and not self._disabled
+
+    @property
+    def disabled(self) -> bool:
+        return self._disabled
+
+    # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
     def try_submit(self, batch: MicroBatch) -> bool:
-        """Queue a batch; ``False`` when the queue is full (backpressure)."""
+        """Queue a batch; ``False`` when the queue is full (backpressure)
+        or the shard has been disabled by the supervisor."""
+        if self._disabled:
+            return False
         try:
             self._queue.put_nowait(batch)
             return True
@@ -168,39 +328,100 @@ class WorkerShard:
     # ------------------------------------------------------------------ #
     # Worker loop
     # ------------------------------------------------------------------ #
-    def _run(self) -> None:
+    def _run(self, epoch: int) -> None:
         while True:
             batch = self._queue.get()
+            with self._lock:
+                stale = epoch != self._epoch
+                if not stale and batch is not None:
+                    self._in_flight = 1
+                    self._busy_since = self._clock()
+                    self._current_batch = batch
+            if stale:
+                # Abandoned while blocked on the queue: hand the item
+                # (batch or stop sentinel) to the replacement worker.
+                self._queue.put(batch)
+                return
             if batch is None:
                 return
-            with self._lock:
-                self._in_flight = 1
-            try:
-                prediction = self._classify(batch)
-            except BaseException as error:  # deliver, never kill the worker
-                for request in batch.requests:
+            if self._injector is not None and self._injector.fires(SHARD_DEATH):
+                # Simulated worker death: exit with the batch still
+                # claimed as in-flight, exactly like an uncaught error
+                # killing the thread.  The supervisor must notice the dead
+                # thread, fail the batch and start a replacement.
+                return
+            if not self._process(batch, epoch):
+                return  # abandoned mid-batch; a replacement owns the queue
+
+    def _claim(self, batch: MicroBatch, epoch: int) -> bool:
+        """Atomically take delivery rights for ``batch``.
+
+        Fails when the supervisor abandoned this worker (epoch bumped
+        and/or batch taken) -- the caller must then discard its result and
+        exit, because the batch's futures already received a terminal
+        :class:`~repro.errors.ShardFailedError`.
+        """
+        with self._lock:
+            if epoch != self._epoch or self._current_batch is not batch:
+                return False
+            self._current_batch = None
+            self._busy_since = None
+            self._in_flight = 0
+            return True
+
+    def _process(self, batch: MicroBatch, epoch: int) -> bool:
+        """Run one batch end to end; ``False`` when this worker was
+        abandoned and must exit."""
+        live: Optional[MicroBatch] = batch
+        if any(r.deadline_at is not None for r in batch.requests):
+            # Second (pre-kernel) deadline shed: requests that expired
+            # while queued behind earlier batches are failed here instead
+            # of paying for a kernel they can no longer use.
+            live, expired = batch.partition_expired(self._clock())
+            if expired is not None:
+                with self._lock:
+                    if epoch != self._epoch:
+                        return False
+                    self._current_batch = live
+                error = DeadlineExceededError(batch.model)
+                for request in expired.requests:
                     request.pending.set_exception(error)
                 if self._failure is not None:
-                    self._failure(self, batch, error)
-            else:
-                self.processed_batches += 1
-                self.processed_requests += len(batch)
-                try:
-                    self._completion(self, batch, prediction)
-                except BaseException as error:
-                    # A buggy completion callback must not kill the worker
-                    # and strand every queued batch; deliver the error to
-                    # whatever futures the callback left unresolved
-                    # (deduplicated followers included).
-                    for request in batch.requests:
-                        if not request.pending.done():
-                            request.pending.set_exception(error)
-                        for follower in request.followers:
-                            if not follower.pending.done():
-                                follower.pending.set_exception(error)
-            finally:
-                with self._lock:
-                    self._in_flight = 0
+                    self._failure(self, expired, error)
+                if live is None:
+                    with self._lock:
+                        if epoch == self._epoch:
+                            self._busy_since = None
+                            self._in_flight = 0
+                    return True
+        try:
+            prediction = self._classify(live)
+        except BaseException as error:  # deliver, never kill the worker
+            if not self._claim(live, epoch):
+                return False
+            for request in live.requests:
+                request.pending.set_exception(error)
+            if self._failure is not None:
+                self._failure(self, live, error)
+            return True
+        self.processed_batches += 1
+        self.processed_requests += len(live)
+        if not self._claim(live, epoch):
+            return False
+        try:
+            self._completion(self, live, prediction)
+        except BaseException as error:
+            # A buggy completion callback must not kill the worker
+            # and strand every queued batch; deliver the error to
+            # whatever futures the callback left unresolved
+            # (deduplicated followers included).
+            for request in live.requests:
+                if not request.pending.done():
+                    request.pending.set_exception(error)
+                for follower in request.followers:
+                    if not follower.pending.done():
+                        follower.pending.set_exception(error)
+        return True
 
     def _classify(self, batch: MicroBatch) -> BatchPrediction:
         """Score one micro-batch, preferring the zero-copy packed path.
@@ -223,6 +444,11 @@ class WorkerShard:
         it.  Their still-open ``batch`` span (shard-queue wait) is closed
         at the same instant the kernel starts.
         """
+        if self._injector is not None:
+            # kernel_hang sleeps (spec.hang_s) -- the wedged-worker fault
+            # the supervisor's hang_timeout must catch; kernel_raise throws.
+            self._injector.raise_if(KERNEL_HANG, shard=self.name, model=batch.model)
+            self._injector.raise_if(KERNEL_RAISE, shard=self.name, model=batch.model)
         classifier = self.classifier
         traced = [r.trace for r in batch.requests if r.trace is not None]
         kernel_start = self._clock() if traced else 0.0
@@ -279,6 +505,8 @@ class ShardGroup:
         operands as well.
     clock:
         Monotonic time source forwarded to every shard (trace timestamps).
+    fault_injector:
+        Forwarded to every shard (kernel/death injection sites).
     """
 
     def __init__(
@@ -293,6 +521,7 @@ class ShardGroup:
         queue_capacity: int = 8,
         backend=None,
         clock: Callable[[], float] = time.monotonic,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
@@ -305,6 +534,11 @@ class ShardGroup:
         self.model = model
         self.policy = policy
         self.classifier = classifier
+        #: Optional (model, shard) -> bool gate the router consults before
+        #: offering a batch to a shard; bound by the registry when the
+        #: service runs with circuit breakers
+        #: (:meth:`repro.serve.resilience.BreakerBoard.allow`).
+        self.breaker_gate: Optional[BreakerGate] = None
         self.shards = [
             WorkerShard(
                 f"{model}/{index}",
@@ -313,6 +547,7 @@ class ShardGroup:
                 failure=failure,
                 queue_capacity=queue_capacity,
                 clock=clock,
+                fault_injector=fault_injector,
             )
             for index in range(n_shards)
         ]
@@ -323,9 +558,9 @@ class ShardGroup:
         for shard in self.shards:
             shard.start()
 
-    def stop(self, timeout: float = 5.0) -> None:
-        for shard in self.shards:
-            shard.stop(timeout)
+    def stop(self, timeout: float = 5.0) -> list[str]:
+        """Stop every shard; returns the names of leaked (wedged) workers."""
+        return [shard.name for shard in self.shards if not shard.stop(timeout)]
 
     # ------------------------------------------------------------------ #
     # Hot-swap and eviction support
@@ -364,10 +599,29 @@ class ShardGroup:
         ]
 
     def submit(self, batch: MicroBatch) -> WorkerShard:
-        """Route a batch to a shard per the policy; raise when all are full."""
+        """Route a batch to a shard per the policy.
+
+        Shards whose circuit breaker is open (or that the supervisor
+        disabled) are skipped.  When every shard was gated off the group
+        raises :class:`~repro.errors.CircuitOpenError`; when at least one
+        shard was eligible but all eligible queues were full it raises
+        :class:`~repro.errors.ServiceOverloadedError` (backpressure).
+        """
+        gate = self.breaker_gate
+        gated = 0
         for shard in self._candidate_order():
+            if shard.disabled:
+                gated += 1
+                continue
+            if gate is not None and not gate(self.model, shard.name):
+                gated += 1
+                continue
             if shard.try_submit(batch):
                 return shard
+        if gated == len(self.shards):
+            raise CircuitOpenError(
+                self.model, open_shards=gated, total_shards=len(self.shards)
+            )
         raise ServiceOverloadedError(
             f"all {len(self.shards)} shard queues of model {self.model!r}",
             pending=self.total_queue_depth,

@@ -17,6 +17,7 @@ Covers the acceptance surface of the lifecycle redesign:
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -27,6 +28,9 @@ from repro.errors import (
     ConfigurationError,
     DataError,
     ModelEvictedError,
+    ResultTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
     UnknownModelError,
 )
 from repro.serve import (
@@ -516,3 +520,146 @@ class TestPipelineSnapshotAdoption:
             assert len(responses) == 8
         finally:
             service.stop()
+
+
+# --------------------------------------------------------------------- #
+# Eviction racing live submission: terminate, never hang
+# --------------------------------------------------------------------- #
+class TestEvictSubmitRace:
+    def test_every_request_terminates_under_concurrent_evict(self, cluster_data):
+        """Stress the evict/submit race: four threads submit continuously
+        while the model is evicted mid-stream.  Every future must reach a
+        terminal state -- a result or a service error -- within its
+        timeout; a single :class:`ResultTimeoutError` means a request was
+        left hanging and fails the test."""
+        X, y = cluster_data
+        config = ServiceConfig(
+            batch_size=8, max_delay_ms=1.0, cache_capacity=0, max_pending=4096
+        )
+        service = StreamingInferenceService(config=config)
+        service.register_model("m", _fit(X, y))
+        stop_submitting = threading.Event()
+        futures: list = []
+        futures_lock = threading.Lock()
+
+        def submitter(offset: int) -> None:
+            index = offset
+            while not stop_submitting.is_set():
+                try:
+                    future = service.submit(X[index % len(X)], model="m")
+                except ServiceError:
+                    # Evicted (UnknownModelError) or saturated: a refusal
+                    # is itself a prompt, terminal outcome.
+                    continue
+                with futures_lock:
+                    futures.append(future)
+                index += 1
+
+        with service:
+            threads = [
+                threading.Thread(target=submitter, args=(k,), daemon=True)
+                for k in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05)  # let the submitters build up steam
+            service.evict_model("m")
+            time.sleep(0.02)  # keep racing against the evicted name
+            stop_submitting.set()
+            for thread in threads:
+                thread.join(5.0)
+            assert not any(thread.is_alive() for thread in threads)
+            resolved = failed = 0
+            for future in futures:
+                try:
+                    future.result(10.0)
+                    resolved += 1
+                except ResultTimeoutError:
+                    pytest.fail("a request neither resolved nor failed")
+                except ServiceError:
+                    failed += 1
+            assert resolved + failed == len(futures)
+            # The race genuinely exercised both sides of the eviction.
+            assert resolved >= 1 and failed >= 1
+            assert service.pending_requests == 0
+
+
+# --------------------------------------------------------------------- #
+# submit_many all-or-nothing drain (dedup followers included)
+# --------------------------------------------------------------------- #
+class TestSubmitManyDrain:
+    def test_overload_drain_reraises_and_releases_budget(
+        self, trained_bsom_classifier, cluster_data
+    ):
+        X, _ = cluster_data
+        config = ServiceConfig(
+            batch_size=256, max_delay_ms=20.0, cache_capacity=0, max_pending=3
+        )
+        service = StreamingInferenceService(config=config)
+        service.register_model("m", trained_bsom_classifier)
+        with service:
+            # Rows 0,0,1,2 fit (the duplicate coalesces, consuming no
+            # budget slot); row 3 is refused by the 3-slot pending budget.
+            rows = np.vstack([X[0], X[0], X[1], X[2], X[3]])
+            with pytest.raises(ServiceOverloadedError):
+                service.submit_many(rows, model="m")
+            assert service.metrics_snapshot().dedup_hits == 1
+            # The drain awaited the admitted futures (follower included):
+            # the deadline dispatcher cut their lane, so the budget frees
+            # without any caller-side flush.
+            deadline = time.monotonic() + 5.0
+            while service.pending_requests and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert service.pending_requests == 0
+            # A retried bulk submission now fits cleanly.
+            futures = service.submit_many(rows[2:], model="m")
+            service.flush()
+            assert all(f.result(10.0) is not None for f in futures)
+
+
+# --------------------------------------------------------------------- #
+# stop() racing submit: followers of the doomed primary must fail too
+# --------------------------------------------------------------------- #
+class TestStopRaceFollowers:
+    def test_stop_race_fans_error_to_followers(
+        self, trained_bsom_classifier, cluster_data
+    ):
+        """White-box: a follower that coalesces onto a primary inside the
+        stop() race window (after the dedup-table insert, before the
+        running check) must receive the primary's terminal error, not hang
+        until its timeout."""
+        X, _ = cluster_data
+        config = ServiceConfig(batch_size=256, max_delay_ms=60_000.0, cache_capacity=0)
+        service = StreamingInferenceService(config=config)
+        service.register_model("m", trained_bsom_classifier)
+        service.start()
+        follower_futures: list = []
+        real_lock = service._state_lock
+
+        class RaceWindowLock:
+            """Proxy for the service's state lock: the first acquisition
+            (the doomed primary's) first lets a follower attach and stops
+            the service -- the exact interleaving of the race."""
+
+            def __init__(self):
+                self.armed = True
+
+            def __enter__(self):
+                if self.armed:
+                    self.armed = False
+                    # The primary is in the dedup table already, so this
+                    # coalesces (the follower path never takes this lock).
+                    follower_futures.append(service.submit(X[0], model="m"))
+                    service.stop()
+                return real_lock.__enter__()
+
+            def __exit__(self, *exc_info):
+                return real_lock.__exit__(*exc_info)
+
+        service._state_lock = RaceWindowLock()
+        with pytest.raises(ServiceError):
+            service.submit(X[0], model="m")
+        assert len(follower_futures) == 1
+        with pytest.raises(ServiceError):
+            follower_futures[0].result(1.0)
+        assert service.pending_requests == 0
