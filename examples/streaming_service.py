@@ -17,6 +17,15 @@ subsystem (:mod:`repro.serve`) scaling that deployment sideways through the
    ``--metrics-out``, append the full metric registry plus lifecycle
    events (the hot-swap, cache invalidation) as JSONL snapshots.
 
+With ``--canary`` step 4 becomes a guarded rollout instead of a blind
+swap: a rebuilt candidate shadows live traffic (responses untouched),
+takes a seeded 20% canary split once it clears the agreement policy, and
+is promoted through the zero-drop swap; a deliberately regressed
+candidate is then shadow-evaluated and auto-demoted, and a rollback
+restores the pre-promotion map from the ring.  The whole cycle lands in
+``--metrics-out`` as the ``serve_shadow_*`` / ``serve_rollout_*`` series
+plus ``rollout_*`` events.
+
 With ``--inject-faults`` the first drive phase runs under a deterministic
 :class:`~repro.serve.FaultInjector` that kills one worker shard mid-wave:
 the frames in the abandoned micro-batch fail fast with
@@ -47,6 +56,8 @@ from repro.serve import (
     SHARD_DEATH,
     FaultInjector,
     FaultSpec,
+    RolloutConfig,
+    RolloutPolicy,
     ServiceConfig,
     SimulatedCameraStream,
     SupervisorConfig,
@@ -139,11 +150,103 @@ def _drive_through_fault(service, dataset, n_streams, frames_per_stream, seed0):
         print(f"  shard_restart event: {event.fields}")
 
 
+def _scrambled(snapshot):
+    """Same map, label table rotated: a regressed candidate for the demo."""
+    import dataclasses
+
+    import numpy as np
+
+    from repro.core.snapshot import SnapshotLabelling
+
+    labelling = snapshot.labelling
+    n_labels = max(int(labelling.labels.max()) + 1, 1)
+    rotated = np.where(
+        labelling.node_labels >= 0,
+        (labelling.node_labels + 1) % n_labels,
+        labelling.node_labels,
+    )
+    return dataclasses.replace(
+        snapshot,
+        labelling=SnapshotLabelling(
+            node_labels=rotated,
+            win_frequencies=labelling.win_frequencies,
+            labels=labelling.labels,
+        ),
+    )
+
+
+def _drive_until_verdict(service, manager, dataset, n_streams, frames, seed0):
+    """Drive waves of frames until the active rollout reaches a verdict."""
+    for attempt in range(5):
+        _drive(service, dataset, n_streams, frames, seed0=seed0 + attempt * 1000)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if manager.status("hall") is None:
+                return True
+            time.sleep(0.01)
+    return False
+
+
+def _canary_cycle(service, dataset, n_streams, frames_per_stream):
+    """Shadow -> canary -> promote -> forced regression -> rollback."""
+    print("\n=== 4. Guarded rollout: shadow -> canary -> promote ===")
+    manager = service.enable_rollouts(
+        RolloutConfig(
+            policy=RolloutPolicy(
+                min_samples=100, promote_agreement=0.95, demote_agreement=0.85
+            ),
+            canary_fraction=0.2,
+            split_seed=2010,
+        )
+    )
+    # The candidate is a rebuild of the same training recipe -- seeded
+    # training is deterministic, so it should agree with the active map
+    # and clear the policy on live traffic.
+    rebuilt = api.train(
+        dataset.train_signatures, dataset.train_labels,
+        n_neurons=40, epochs=15, seed=2010,
+    )
+    manager.begin("hall", api.snapshot(rebuilt, metadata={"build": "rebuild-v2"}))
+    print("candidate hall@v1 shadowing live traffic "
+          "(responses still come from the active map)...")
+    if not _drive_until_verdict(
+        service, manager, dataset, n_streams, frames_per_stream, seed0=500
+    ):
+        print("rollout still undecided; promoting by hand for the demo")
+        manager.promote("hall")
+    for event in service.obs.events.events(kind="rollout_canary"):
+        print(f"  rollout_canary event: {event.fields}")
+    for event in service.obs.events.events(kind="rollout_promoted"):
+        print(f"  rollout_promoted event: {event.fields}")
+    print(f"rollback ring now holds {len(manager.ring('hall'))} snapshot(s)")
+
+    print("\n=== 5. Forced regression: scrambled candidate is auto-demoted ===")
+    active = api.snapshot(service.registry.classifier("hall"))
+    manager.begin("hall", _scrambled(active))
+    print("regressed candidate hall@v2 shadowing live traffic...")
+    if not _drive_until_verdict(
+        service, manager, dataset, n_streams, frames_per_stream, seed0=9000
+    ):
+        raise AssertionError("regressed candidate was never demoted")
+    for event in service.obs.events.events(kind="rollout_demoted"):
+        print(f"  rollout_demoted event: {event.fields}")
+
+    print("\n=== 6. Rollback: restore the pre-promotion map from the ring ===")
+    if manager.rollback("hall"):
+        for event in service.obs.events.events(kind="rollout_rolled_back"):
+            print(f"  rollout_rolled_back event: {event.fields}")
+        print("previous version serving again (zero-drop swap); "
+              "driving one confirmation wave")
+        _drive(service, dataset, n_streams, frames_per_stream, seed0=7000)
+    return manager
+
+
 def main(
     n_streams: int = 6,
     frames_per_stream: int = 200,
     metrics_out: str | None = None,
     inject_faults: bool = False,
+    canary: bool = False,
 ) -> None:
     print("=== 1. Off-line training and snapshot ===")
     dataset = make_surveillance_dataset(scale=0.1, seed=2010)
@@ -167,10 +270,13 @@ def main(
             seed=2010,
             specs=[FaultSpec(SHARD_DEATH, start_after=1, max_fires=1)],
         )
+    # The rollout demo disables the signature cache: shadow evaluation
+    # mirrors micro-batches, and a hot cache would answer the repeated
+    # frames before they ever reach the kernels the candidate must match.
     config = ServiceConfig(
         batch_size=32,
         max_delay_ms=5.0,
-        cache_capacity=4096,
+        cache_capacity=0 if canary else 4096,
         n_shards=2,
         routing_policy="least_loaded",
         fault_injector=injector,
@@ -198,18 +304,21 @@ def main(
         if exporter is not None:
             exporter.export(service.obs.registry, events=service.obs.events)
 
-        print("\n=== 4. Hot-swap to a longer-trained map (zero-drop reflash) ===")
-        improved = api.train(
-            dataset.train_signatures, dataset.train_labels,
-            n_neurons=40, epochs=30, seed=2010,
-        )
-        api.swap(service, "hall", api.snapshot(improved))
-        print(f"swapped in epochs=30 map "
-              f"(accuracy {improved.score(dataset.test_signatures, dataset.test_labels):.2%}); "
-              f"driving the streams again")
-        _drive(service, dataset, n_streams, frames_per_stream, seed0=500)
+        if canary:
+            _canary_cycle(service, dataset, n_streams, frames_per_stream)
+        else:
+            print("\n=== 4. Hot-swap to a longer-trained map (zero-drop reflash) ===")
+            improved = api.train(
+                dataset.train_signatures, dataset.train_labels,
+                n_neurons=40, epochs=30, seed=2010,
+            )
+            api.swap(service, "hall", api.snapshot(improved))
+            print(f"swapped in epochs=30 map "
+                  f"(accuracy {improved.score(dataset.test_signatures, dataset.test_labels):.2%}); "
+                  f"driving the streams again")
+            _drive(service, dataset, n_streams, frames_per_stream, seed0=500)
 
-        print("\n=== 5. Telemetry ===")
+        print("\n=== Telemetry ===")
         snapshot_metrics = service.metrics_snapshot()
         print(f"requests total:      {snapshot_metrics.requests_total}")
         print(f"batches dispatched:  {snapshot_metrics.batches_total} "
@@ -225,6 +334,22 @@ def main(
         if inject_faults:
             print(f"shard restarts:      {snapshot_metrics.shard_restarts} "
                   f"(serve_shard_restarts_total in --metrics-out)")
+        if canary:
+            registry = service.obs.registry
+
+            def _count(name, labels=None):
+                metric = registry.get(name, labels)
+                return int(metric.value) if metric is not None else 0
+
+            print(f"shadow mirrored:     "
+                  f"{_count('serve_shadow_requests_total', {'model': 'hall'})} requests "
+                  f"({_count('serve_shadow_disagreements_total', {'model': 'hall'})} "
+                  f"disagreements)")
+            print(f"rollouts:            "
+                  f"{_count('serve_rollout_promotions_total')} promoted, "
+                  f"{_count('serve_rollout_demotions_total')} demoted, "
+                  f"{_count('serve_rollout_rollbacks_total')} rolled back "
+                  f"(serve_rollout_* in --metrics-out)")
         if exporter is not None:
             exporter.export(service.obs.registry, events=service.obs.events)
             print(f"metric snapshots appended to {metrics_out}")
@@ -246,10 +371,18 @@ if __name__ == "__main__":
         help="kill one worker shard mid-wave (deterministic FaultInjector) "
         "and show the supervisor restarting it",
     )
+    parser.add_argument(
+        "--canary",
+        action="store_true",
+        help="replace the plain hot-swap with a guarded rollout cycle: "
+        "shadow -> canary -> promote, a forced regression auto-demoted, "
+        "then a rollback from the ring",
+    )
     arguments = parser.parse_args()
     main(
         n_streams=arguments.streams,
         frames_per_stream=arguments.frames,
         metrics_out=arguments.metrics_out,
         inject_faults=arguments.inject_faults,
+        canary=arguments.canary,
     )

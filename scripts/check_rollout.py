@@ -1,0 +1,373 @@
+#!/usr/bin/env python
+"""CI rollout gate: guarded model updates under live load.
+
+Drives the guarded-rollout machinery end to end and holds it to four
+invariants:
+
+1. **regressions fail closed** -- a regressed candidate (same map, label
+   table scrambled) begun against a model under 4-thread load is shadow-
+   evaluated, auto-demoted, and its canary version drained and evicted,
+   with zero dropped requests: every future submitted before, during and
+   after the demotion resolves with a real classification from the prior
+   (still-active) version,
+2. **healthy candidates promote** -- a behaviourally equivalent candidate
+   clears the same policy, rides the canary split, and is promoted through
+   the zero-drop swap, banking the replaced snapshot in the rollback ring;
+   a manual rollback then restores the original weights version,
+3. **deltas are bit-exact** -- an on-line learner's published full-then-
+   delta chain materialises, through a save/load round trip, to exactly
+   the weights of a full snapshot taken at the same weights version, and
+4. **corrupt archives never reach the registry** -- truncated and
+   bit-flipped archives raise ``SnapshotCorruptionError`` at load time,
+   and the injected ``snapshot_corrupt`` site replays deterministically
+   under the gate's seed.
+
+Run directly or through scripts/ci_check.sh:
+
+    PYTHONPATH=src python scripts/check_rollout.py --seed 11
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import tempfile
+import threading
+import time
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import api  # noqa: E402
+from repro.core import DeltaSnapshot, ModelSnapshot  # noqa: E402
+from repro.core.snapshot import SnapshotLabelling  # noqa: E402
+from repro.datasets import make_signature_clusters  # noqa: E402
+from repro.errors import (  # noqa: E402
+    ServiceError,
+    SnapshotCorruptionError,
+    UnknownModelError,
+)
+from repro.pipeline import OnlineLearner, OnlineLearnerConfig  # noqa: E402
+from repro.serve import (  # noqa: E402
+    SNAPSHOT_CORRUPT,
+    FaultInjector,
+    FaultSpec,
+    RolloutConfig,
+    RolloutPolicy,
+    ServiceConfig,
+)
+
+N_BITS = 128
+N_PUMPS = 4  # concurrent load threads
+RESULT_TIMEOUT_S = 15.0
+VERDICT_TIMEOUT_S = 60.0
+
+
+def _dataset(seed: int):
+    return make_signature_clusters(
+        n_identities=5,
+        samples_per_identity=40,
+        n_bits=N_BITS,
+        core_bits=20,
+        shared_bits=15,
+        seed=seed,
+    )
+
+
+def _scrambled(snapshot: ModelSnapshot) -> ModelSnapshot:
+    """Same map, label table rotated: a maximal behavioural regression."""
+    labelling = snapshot.labelling
+    n_labels = max(int(labelling.labels.max()) + 1, 1)
+    rotated = np.where(
+        labelling.node_labels >= 0,
+        (labelling.node_labels + 1) % n_labels,
+        labelling.node_labels,
+    )
+    return dataclasses.replace(
+        snapshot,
+        labelling=SnapshotLabelling(
+            node_labels=rotated,
+            win_frequencies=labelling.win_frequencies,
+            labels=labelling.labels,
+        ),
+    )
+
+
+class LoadPumps:
+    """N threads submitting continuously; every future must resolve."""
+
+    def __init__(self, service, X, model="m"):
+        self.service = service
+        self.X = X
+        self.model = model
+        self.resolved = 0
+        self.failures: list[BaseException] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads = [
+            threading.Thread(target=self._pump, args=(i,), daemon=True)
+            for i in range(N_PUMPS)
+        ]
+
+    def _pump(self, worker: int) -> None:
+        rng = np.random.default_rng([worker, 99])
+        while not self._stop.is_set():
+            rows = self.X[rng.integers(0, len(self.X), size=8)]
+            try:
+                futures = [
+                    self.service.submit(
+                        row, model=self.model, stream_id=f"cam-{worker}"
+                    )
+                    for row in rows
+                ]
+                for future in futures:
+                    future.result(RESULT_TIMEOUT_S)
+                with self._lock:
+                    self.resolved += len(futures)
+            except ServiceError as error:
+                with self._lock:
+                    self.failures.append(error)
+                return
+
+    def __enter__(self):
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=RESULT_TIMEOUT_S)
+
+
+def _await_verdict(manager, model: str) -> None:
+    deadline = time.monotonic() + VERDICT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if manager.status(model) is None:
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"rollout of {model!r} reached no verdict within {VERDICT_TIMEOUT_S}s: "
+        f"{manager.status(model)}"
+    )
+
+
+def check_regression_demoted(seed: int) -> None:
+    """Invariant 1: regressed candidate auto-demoted under load, zero drops."""
+    X, y = _dataset(seed)
+    v1 = api.train(X, y, n_neurons=16, epochs=8, seed=1)
+    service = api.serve(
+        {"m": v1},
+        config=ServiceConfig(
+            batch_size=8, max_delay_ms=2.0, cache_capacity=0, n_shards=2
+        ),
+    )
+    try:
+        active = ModelSnapshot.of(v1)
+        manager = service.enable_rollouts(
+            RolloutConfig(
+                policy=RolloutPolicy(
+                    min_samples=60, promote_agreement=0.99, demote_agreement=0.9
+                ),
+                canary_fraction=0.25,
+                split_seed=seed,
+            )
+        )
+        manager.begin("m", _scrambled(active))
+        with LoadPumps(service, X) as pumps:
+            _await_verdict(manager, "m")
+        if pumps.failures:
+            raise AssertionError(
+                f"{len(pumps.failures)} request(s) failed during demotion: "
+                f"{pumps.failures[:3]}"
+            )
+        demotions = service.obs.registry.get("serve_rollout_demotions_total")
+        if demotions is None or demotions.value != 1:
+            raise AssertionError("regressed candidate was not demoted")
+        if service.registry.route("m") is not None:
+            raise AssertionError("canary route survived the demotion")
+        try:
+            service.registry.group("m@v1")
+            raise AssertionError("canary version survived the demotion")
+        except UnknownModelError:
+            pass
+        survivor = service.registry.classifier("m")
+        if survivor.som.weights_version != active.weights_version:
+            raise AssertionError("demotion did not leave the prior version active")
+        print(
+            f"regression gate ok: demoted after "
+            f"{pumps.resolved} zero-drop requests"
+        )
+    finally:
+        service.stop()
+
+
+def check_good_candidate_promotes(seed: int) -> None:
+    """Invariant 2: equivalent candidate promotes; rollback restores."""
+    X, y = _dataset(seed)
+    v1 = api.train(X, y, n_neurons=16, epochs=8, seed=1)
+    service = api.serve(
+        {"m": v1},
+        config=ServiceConfig(
+            batch_size=8, max_delay_ms=2.0, cache_capacity=0, n_shards=2
+        ),
+    )
+    try:
+        before = ModelSnapshot.of(service.registry.classifier("m"))
+        manager = service.enable_rollouts(
+            RolloutConfig(
+                policy=RolloutPolicy(min_samples=60, promote_agreement=0.95),
+                canary_fraction=0.25,
+                split_seed=seed,
+            )
+        )
+        twin = dataclasses.replace(before, metadata={"candidate": "twin"})
+        manager.begin("m", twin)
+        with LoadPumps(service, X) as pumps:
+            _await_verdict(manager, "m")
+        if pumps.failures:
+            raise AssertionError(
+                f"{len(pumps.failures)} request(s) failed during promotion: "
+                f"{pumps.failures[:3]}"
+            )
+        promotions = service.obs.registry.get("serve_rollout_promotions_total")
+        if promotions is None or promotions.value != 1:
+            raise AssertionError("healthy candidate was not promoted")
+        ring = manager.ring("m")
+        if len(ring) != 1 or ring[-1].weights_version != before.weights_version:
+            raise AssertionError("promotion did not bank the replaced snapshot")
+        if not manager.rollback("m"):
+            raise AssertionError("rollback from the ring failed")
+        restored = service.registry.classifier("m")
+        if restored.som.weights_version != before.weights_version:
+            raise AssertionError("rollback did not restore the prior version")
+        if len(service.classify("m", X[:8])) != 8:
+            raise AssertionError("service unhealthy after rollback")
+        print(
+            f"promotion gate ok: promoted + rolled back across "
+            f"{pumps.resolved} zero-drop requests"
+        )
+    finally:
+        service.stop()
+
+
+def check_delta_chain_bit_exact(seed: int, workdir: Path) -> None:
+    """Invariant 3: published full+delta chain == full snapshot, bit for bit."""
+    X, y = _dataset(seed)
+    classifier = api.train(X, y, n_neurons=16, epochs=8, seed=1)
+    published = []
+    learner = OnlineLearner(
+        classifier,
+        X,
+        y,
+        config=OnlineLearnerConfig(
+            min_signatures=8, online_epochs=2, publish_every=6
+        ),
+        publisher=published.append,
+    )
+    rng = np.random.default_rng(seed)
+    base_row = 1 - X[0]
+    novel = np.where(
+        rng.random((24, N_BITS)) < 0.05, 1 - base_row, base_row
+    ).astype(np.uint8)
+    for row in novel:
+        learner.observe(900, row)
+    if len(published) < 2 or not isinstance(published[0], ModelSnapshot):
+        raise AssertionError(
+            f"expected a full snapshot then deltas, got {len(published)} items"
+        )
+    deltas = published[1:]
+    if not all(isinstance(d, DeltaSnapshot) for d in deltas):
+        raise AssertionError("later publications must be deltas")
+    if not any(d.n_rows > 0 for d in deltas):
+        raise AssertionError("no delta carried any touched rows")
+    # Round-trip the whole chain through archives, then materialise.
+    chain = api.load(api.save(published[0], workdir / "base.npz"))
+    for index, delta in enumerate(deltas):
+        chain = api.load_delta(api.save_delta(delta, workdir / f"d{index}.npz")).apply(
+            chain
+        )
+    full = learner.published_base  # full snapshot at the same weights version
+    if chain.weights_version != full.weights_version:
+        raise AssertionError("delta chain ended at the wrong weights version")
+    if not np.array_equal(chain.weights, full.weights):
+        raise AssertionError("delta chain is not bit-exact against the full snapshot")
+    if not np.array_equal(
+        chain.labelling.node_labels, full.labelling.node_labels
+    ):
+        raise AssertionError("delta chain lost labelling updates")
+    touched = sum(d.n_rows for d in deltas)
+    print(
+        f"delta gate ok: {len(deltas)} delta(s), {touched} row(s) carried, "
+        "bit-exact after archive round-trip"
+    )
+
+
+def check_corruption_fails_closed(seed: int, workdir: Path) -> None:
+    """Invariant 4: corrupt archives raise before any model is built."""
+    X, y = _dataset(seed)
+    classifier = api.train(X, y, n_neurons=16, epochs=4, seed=1)
+    path = api.save(classifier, workdir / "good.npz")
+
+    truncated = workdir / "truncated.npz"
+    truncated.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    try:
+        api.load(truncated)
+        raise AssertionError("truncated archive loaded without error")
+    except SnapshotCorruptionError:
+        pass
+
+    flipped = workdir / "flipped.npz"
+    raw = bytearray(path.read_bytes())
+    with zipfile.ZipFile(path) as archive:
+        info = next(i for i in archive.infolist() if "weights" in i.filename)
+    name_len = int.from_bytes(raw[info.header_offset + 26 : info.header_offset + 28], "little")
+    extra_len = int.from_bytes(raw[info.header_offset + 28 : info.header_offset + 30], "little")
+    raw[info.header_offset + 30 + name_len + extra_len + 8] ^= 0x40
+    flipped.write_bytes(bytes(raw))
+    try:
+        api.load(flipped)
+        raise AssertionError("bit-flipped archive loaded without error")
+    except SnapshotCorruptionError:
+        pass
+
+    # The injected site fires deterministically under the gate's seed.
+    from repro.core.serialization import load_snapshot
+
+    injector = FaultInjector(
+        seed=seed, specs=[FaultSpec(site=SNAPSHOT_CORRUPT, probability=1.0)]
+    )
+    try:
+        load_snapshot(path, fault_injector=injector)
+        raise AssertionError("injected corruption site did not fire")
+    except SnapshotCorruptionError:
+        pass
+    if injector.fired(SNAPSHOT_CORRUPT) != 1:
+        raise AssertionError("corruption site fire count did not replay")
+    # The archive itself is intact: a clean load still succeeds.
+    if not api.load(path).is_fitted:
+        raise AssertionError("pristine archive failed to load after the chaos")
+    print("corruption gate ok: truncation, bit flip and injection all fail closed")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=11, help="gate seed")
+    args = parser.parse_args()
+
+    check_regression_demoted(args.seed)
+    check_good_candidate_promotes(args.seed)
+    with tempfile.TemporaryDirectory(prefix="check_rollout_") as tmp:
+        workdir = Path(tmp)
+        check_delta_chain_bit_exact(args.seed, workdir)
+        check_corruption_fails_closed(args.seed, workdir)
+    print("check_rollout: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,17 @@ echo "=== resilience: chaos gate (deterministic fault injection, seed 7) ==="
 python scripts/check_resilience.py --seed 7
 
 echo
+echo "=== rollouts: guarded model updates under load (seed 11) ==="
+# The guarded-rollout gate: a regressed candidate shadow-evaluated under
+# 4-thread load is auto-demoted with zero dropped requests and the prior
+# version left serving; a healthy candidate promotes through the canary
+# split and rolls back from the ring; an on-line learner's full+delta
+# publication chain materialises bit-exactly after an archive round trip;
+# truncated/bit-flipped archives raise SnapshotCorruptionError and never
+# reach the registry.
+python scripts/check_rollout.py --seed 11
+
+echo
 echo "=== smoke: streaming service demo (4 cameras, 40 frames each) ==="
 python examples/streaming_service.py --streams 4 --frames 40
 

@@ -20,6 +20,11 @@ currency everything exchanges:
     Hot-reload a served model with zero dropped requests (the software
     "reflash": queued requests ride through and resolve on the map current
     at their micro-batch boundary).
+``rollout``
+    The guarded path to ``swap``: shadow-evaluate a candidate against live
+    traffic, optionally canary a seeded fraction of requests, and let the
+    rollout policy promote or demote it automatically -- with a bounded
+    rollback ring of the versions it replaced.
 
 End to end::
 
@@ -55,11 +60,13 @@ from repro.core.classifier import SomClassifier
 from repro.core.csom import KohonenSom
 from repro.core.serialization import (
     PathLike,
+    load_delta as _load_delta,
     load_snapshot,
+    save_delta as _save_delta,
     save_model,
     snapshot_model,
 )
-from repro.core.snapshot import ModelSnapshot
+from repro.core.snapshot import DeltaSnapshot, ModelSnapshot
 from repro.core.som import SelfOrganisingMap
 from repro.core.topology import NeighbourhoodSchedule, Topology
 from repro.errors import ConfigurationError
@@ -185,8 +192,35 @@ def load(path: PathLike) -> ModelSnapshot:
     The snapshot goes straight into :func:`serve` / :func:`swap`, or
     :meth:`~repro.core.snapshot.ModelSnapshot.to_classifier` materialises a
     live classifier for local use.
+
+    Every archive write is crash-safe (temp file + fsync + atomic rename)
+    and every array carries a CRC32 recorded at save time; a truncated or
+    bit-flipped archive raises
+    :class:`~repro.errors.SnapshotCorruptionError` here instead of ever
+    reaching a registry.
     """
     return load_snapshot(path)
+
+
+def save_delta(delta: DeltaSnapshot, path: PathLike) -> Path:
+    """Write a row-level :class:`DeltaSnapshot` to a (crash-safe) archive.
+
+    Deltas are what the on-line learner publishes between full snapshots
+    (:class:`~repro.pipeline.OnlineLearner` with ``publish_every``): only
+    the neuron rows the updates touched, plus a full-matrix checksum.
+    """
+    return _save_delta(delta, path)
+
+
+def load_delta(path: PathLike) -> DeltaSnapshot:
+    """Read a delta archive back; apply it with ``delta.apply(base)``.
+
+    Materialisation is checksum-verified: applying a delta to the wrong
+    base (or a corrupted delta) raises
+    :class:`~repro.errors.SnapshotCorruptionError` rather than serving
+    silently wrong weights.
+    """
+    return _load_delta(path)
 
 
 def _coerce_source(source: ServeSource) -> ModelSource:
@@ -260,7 +294,31 @@ def swap(
     return service.swap_model(name, source)
 
 
+def rollout(
+    service: StreamingInferenceService,
+    name: str,
+    candidate: ServeSource,
+    *,
+    config=None,
+):
+    """Begin a guarded rollout of ``candidate`` against served model ``name``.
+
+    Enables the service's :class:`~repro.serve.RolloutManager` (idempotent)
+    and starts the candidate in the shadow stage: it mirrors live traffic
+    without affecting responses, accumulating agreement/latency statistics,
+    and is automatically promoted -- optionally through a seeded canary
+    traffic split -- or demoted by the configured
+    :class:`~repro.serve.RolloutPolicy`.  Returns the manager, whose
+    ``status(name)`` / ``promote`` / ``demote`` / ``rollback`` drive the
+    rest of the lifecycle by hand when automatic guarding is off.
+    """
+    manager = service.enable_rollouts(config)
+    manager.begin(name, _coerce_source(candidate))
+    return manager
+
+
 __all__ = [
+    "DeltaSnapshot",
     "ModelSnapshot",
     "Observability",
     "ServeSource",
@@ -268,6 +326,9 @@ __all__ = [
     "snapshot",
     "save",
     "load",
+    "save_delta",
+    "load_delta",
     "serve",
     "swap",
+    "rollout",
 ]

@@ -67,15 +67,17 @@ from repro.core.classifier import (
     UNKNOWN_LABEL,
 )
 from repro.core.novelty import NoveltyDetector, calibrate_rejection_threshold
-from repro.core.snapshot import ModelSnapshot, SnapshotLabelling
+from repro.core.snapshot import DeltaSnapshot, ModelSnapshot, SnapshotLabelling
 from repro.core.serialization import (
     LossySerializationWarning,
     build_model,
+    load_delta,
     load_model,
     load_snapshot,
     register_schedule_codec,
     register_som_codec,
     register_topology_codec,
+    save_delta,
     save_model,
     snapshot_model,
 )
@@ -118,6 +120,7 @@ __all__ = [
     "UNKNOWN_LABEL",
     "NoveltyDetector",
     "calibrate_rejection_threshold",
+    "DeltaSnapshot",
     "ModelSnapshot",
     "SnapshotLabelling",
     "LossySerializationWarning",
@@ -126,6 +129,8 @@ __all__ = [
     "save_model",
     "load_model",
     "load_snapshot",
+    "save_delta",
+    "load_delta",
     "register_som_codec",
     "register_topology_codec",
     "register_schedule_codec",

@@ -32,7 +32,10 @@ collapsed to a constant-radius stepwise schedule, with an explicit
 from __future__ import annotations
 
 import json
+import os
 import warnings
+import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Union
@@ -45,6 +48,7 @@ from repro.core.csom import KohonenSom, LearningRateSchedule
 from repro.core.labelling import LabelledMap
 from repro.core.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
+    DeltaSnapshot,
     ModelSnapshot,
     SnapshotLabelling,
 )
@@ -56,9 +60,15 @@ from repro.core.topology import (
     RingTopology,
     StepwiseNeighbourhoodSchedule,
 )
-from repro.errors import DataError
+from repro.errors import DataError, SnapshotCorruptionError
 
 PathLike = Union[str, Path]
+
+#: Fault-injection site name fired by :func:`load_snapshot` when an armed
+#: :class:`repro.serve.resilience.FaultInjector` is passed in.  Declared
+#: here (and mirrored as ``repro.serve.resilience.SNAPSHOT_CORRUPT``) so the
+#: core layer never imports the serve layer.
+SNAPSHOT_CORRUPT_SITE = "snapshot_corrupt"
 
 
 class LossySerializationWarning(UserWarning):
@@ -409,6 +419,57 @@ def build_model(
 # --------------------------------------------------------------------------- #
 # Snapshot <-> .npz archive
 # --------------------------------------------------------------------------- #
+def _array_crc32(values: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(values).tobytes()) & 0xFFFFFFFF
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry so an atomic rename survives a crash."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on directories
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_npz(path: Path, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write an ``.npz`` crash-safely: temp file, fsync, atomic rename.
+
+    A reader racing a writer (or a writer killed mid-save) either sees the
+    complete previous archive or the complete new one -- never a truncated
+    in-between state under the final name.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)
+
+
+def _with_checksums(
+    header: dict, arrays: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Record per-array CRC32s in the header and append the header array."""
+    header["checksums"] = {
+        name: _array_crc32(values) for name, values in arrays.items()
+    }
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    return arrays
+
+
 def save_model(
     model: Union[ModelSnapshot, BinarySom, KohonenSom, SomClassifier],
     path: PathLike,
@@ -451,10 +512,56 @@ def save_model(
             )
             arrays["labels"] = np.asarray(snapshot.labelling.labels)
 
-    arrays["header"] = np.frombuffer(
-        json.dumps(header).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez_compressed(path, **arrays)
+    _atomic_write_npz(path, _with_checksums(header, arrays))
+    return path
+
+
+def save_delta(delta: DeltaSnapshot, path: PathLike) -> Path:
+    """Serialise a :class:`~repro.core.snapshot.DeltaSnapshot` to ``path``.
+
+    Delta archives reuse the ``.npz``-with-JSON-header layout (and the same
+    crash-safe write and per-array checksums) but are a distinct artefact:
+    :func:`load_delta` reads them back, and :func:`load_snapshot` refuses
+    them with a pointer here, since a delta cannot serve without its base.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+
+    header: dict[str, Any] = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "delta": True,
+        "kind": delta.kind,
+        "n_neurons": delta.n_neurons,
+        "n_bits": delta.n_bits,
+        "base_weights_version": delta.base_weights_version,
+        "weights_version": delta.weights_version,
+        "full_weights_crc32": delta.full_weights_crc32,
+        "topology": dict(delta.topology),
+        "schedule": dict(delta.schedule),
+        "config": dict(delta.config),
+        "backend": delta.backend,
+        "classifier": delta.classifier,
+        "metadata": dict(delta.metadata),
+    }
+    arrays: dict[str, np.ndarray] = {
+        "row_indices": np.asarray(delta.row_indices),
+        "rows": np.asarray(delta.rows),
+    }
+    if delta.classifier:
+        header["rejection"] = {
+            "percentile": delta.rejection_percentile,
+            "margin": delta.rejection_margin,
+            "threshold": delta.rejection_threshold,
+        }
+        if delta.labelling is not None:
+            arrays["node_labels"] = np.asarray(delta.labelling.node_labels)
+            arrays["win_frequencies"] = np.asarray(
+                delta.labelling.win_frequencies
+            )
+            arrays["labels"] = np.asarray(delta.labelling.labels)
+
+    _atomic_write_npz(path, _with_checksums(header, arrays))
     return path
 
 
@@ -533,19 +640,141 @@ def _snapshot_from_v1(header: dict, archive) -> ModelSnapshot:
     )
 
 
-def load_snapshot(path: PathLike) -> ModelSnapshot:
-    """Read a ``.npz`` archive (format v1 or v2) into a :class:`ModelSnapshot`."""
+#: Low-level failures that mean "the archive's bytes are damaged" rather
+#: than "the caller made a mistake": truncated or bit-flipped zip members
+#: (``BadZipFile``), short reads (``EOFError``/``OSError``), and malformed
+#: pickled/JSON payloads surfacing as ``ValueError``.
+_CORRUPTION_ERRORS = (
+    zipfile.BadZipFile,
+    zlib.error,
+    ValueError,
+    EOFError,
+    OSError,
+    KeyError,
+)
+
+
+def _read_archive(path: Path, fault_injector=None) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read an archive's header and arrays, verifying recorded checksums.
+
+    Every byte-level failure mode -- unreadable zip, missing members,
+    undecodable header, CRC mismatch -- surfaces as
+    :class:`~repro.errors.SnapshotCorruptionError`, so callers fail closed
+    instead of deserializing garbage.  ``fault_injector`` (an armed
+    :class:`repro.serve.resilience.FaultInjector`, duck-typed so the core
+    layer stays serve-free) lets the chaos gate exercise this path
+    deterministically via the :data:`SNAPSHOT_CORRUPT_SITE` site.
+    """
+    if fault_injector is not None and fault_injector.fires(SNAPSHOT_CORRUPT_SITE):
+        raise SnapshotCorruptionError(
+            path, f"injected fault at site {SNAPSHOT_CORRUPT_SITE!r}"
+        )
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if "header" not in archive.files:
+                raise SnapshotCorruptionError(path, "archive has no header member")
+            header = json.loads(
+                bytes(archive["header"].tobytes()).decode("utf-8")
+            )
+            arrays = {
+                name: archive[name] for name in archive.files if name != "header"
+            }
+    except SnapshotCorruptionError:
+        raise
+    except FileNotFoundError:
+        raise DataError(f"model file {path} does not exist") from None
+    except _CORRUPTION_ERRORS as exc:
+        raise SnapshotCorruptionError(
+            path, f"unreadable archive ({type(exc).__name__}: {exc})"
+        ) from exc
+
+    checksums = header.get("checksums")
+    if checksums:
+        for name, expected in checksums.items():
+            if name not in arrays:
+                raise SnapshotCorruptionError(
+                    path, f"array {name!r} recorded in header is missing"
+                )
+            actual = _array_crc32(arrays[name])
+            if actual != int(expected):
+                raise SnapshotCorruptionError(
+                    path,
+                    f"array {name!r} CRC32 {actual:#010x} does not match the "
+                    f"recorded {int(expected):#010x}",
+                )
+    return header, arrays
+
+
+def load_snapshot(path: PathLike, *, fault_injector=None) -> ModelSnapshot:
+    """Read a ``.npz`` archive (format v1 or v2) into a :class:`ModelSnapshot`.
+
+    Verifies the per-array CRC32 checksums recorded in the v2 header (older
+    archives without checksums still load) and raises
+    :class:`~repro.errors.SnapshotCorruptionError` on truncated, bit-flipped
+    or otherwise damaged files instead of deserializing garbage.
+    """
     path = Path(path)
     if not path.exists():
         raise DataError(f"model file {path} does not exist")
-    with np.load(path, allow_pickle=False) as archive:
-        header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
-        version = header.get("format_version")
-        if version == 2:
-            return _snapshot_from_v2(header, archive)
-        if version == 1:
-            return _snapshot_from_v1(header, archive)
-        raise DataError(f"unsupported model format version {version!r}")
+    header, arrays = _read_archive(path, fault_injector=fault_injector)
+    if header.get("delta"):
+        raise DataError(
+            f"{path} holds a delta snapshot, not a full model; read it with "
+            "load_delta() and apply() it to its base snapshot"
+        )
+    version = header.get("format_version")
+    if version == 2:
+        return _snapshot_from_v2(header, arrays)
+    if version == 1:
+        return _snapshot_from_v1(header, arrays)
+    raise DataError(f"unsupported model format version {version!r}")
+
+
+def load_delta(path: PathLike, *, fault_injector=None) -> DeltaSnapshot:
+    """Read a delta archive written by :func:`save_delta`.
+
+    The same integrity guarantees as :func:`load_snapshot` apply; the
+    returned :class:`~repro.core.snapshot.DeltaSnapshot` additionally
+    verifies the full-matrix checksum when :meth:`~DeltaSnapshot.apply`-ed
+    to its base.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"delta file {path} does not exist")
+    header, arrays = _read_archive(path, fault_injector=fault_injector)
+    if not header.get("delta"):
+        raise DataError(
+            f"{path} holds a full model archive, not a delta; read it with "
+            "load_snapshot()"
+        )
+    labelling = None
+    if "node_labels" in arrays:
+        labelling = SnapshotLabelling(
+            node_labels=arrays["node_labels"],
+            win_frequencies=arrays["win_frequencies"],
+            labels=arrays["labels"],
+        )
+    rejection = header.get("rejection") or {}
+    return DeltaSnapshot(
+        kind=header["kind"],
+        n_neurons=header["n_neurons"],
+        n_bits=header["n_bits"],
+        base_weights_version=header["base_weights_version"],
+        weights_version=header["weights_version"],
+        row_indices=arrays["row_indices"],
+        rows=arrays["rows"],
+        full_weights_crc32=int(header["full_weights_crc32"]),
+        topology=header["topology"],
+        schedule=header["schedule"],
+        config=header["config"],
+        backend=header.get("backend"),
+        classifier=bool(header.get("classifier")),
+        rejection_percentile=rejection.get("percentile"),
+        rejection_margin=rejection.get("margin", 1.0),
+        rejection_threshold=rejection.get("threshold"),
+        labelling=labelling,
+        metadata=header.get("metadata") or {},
+    )
 
 
 def load_model(path: PathLike) -> Union[BinarySom, KohonenSom, SomClassifier]:

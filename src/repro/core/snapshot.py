@@ -25,12 +25,13 @@ materialise a fresh, independent live model on demand.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 import numpy as np
 
-from repro.errors import DataError
+from repro.errors import DataError, SnapshotCorruptionError
 
 #: Current on-disk format version written by the v2 codec layer.
 SNAPSHOT_FORMAT_VERSION = 2
@@ -190,4 +191,181 @@ class ModelSnapshot:
             f"ModelSnapshot({self.kind}, {self.n_neurons}x{self.n_bits}, {fitted}, "
             f"backend={self.backend!r}, weights_version={self.weights_version}, "
             f"v{self.format_version})"
+        )
+
+
+def weights_crc32(weights: np.ndarray) -> int:
+    """CRC32 over a weight matrix's raw bytes (row-major, contiguous)."""
+    return zlib.crc32(np.ascontiguousarray(weights).tobytes()) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class DeltaSnapshot:
+    """A model update expressed as touched neuron rows against a base.
+
+    The on-line learner updates only the rows of the winning neuron and its
+    neighbours per observation (the same locality the operand cache exploits
+    for incremental migration), so between two nearby weights-versions most
+    of the matrix is unchanged.  A delta ships just the changed rows plus
+    the full (small) labelling and rejection state, and records a CRC32 of
+    the *complete* materialised weight matrix: :meth:`apply` patches the
+    base, re-derives the checksum and refuses
+    (:class:`~repro.errors.SnapshotCorruptionError`) if they disagree, so a
+    delta applied to the wrong base, or corrupted in transit, never becomes
+    a servable model.
+
+    Deltas are transport, not currency: :meth:`apply` produces an ordinary
+    :class:`ModelSnapshot`, which is what the registry and rollout machinery
+    consume.
+    """
+
+    kind: str
+    n_neurons: int
+    n_bits: int
+    base_weights_version: int
+    weights_version: int
+    row_indices: np.ndarray
+    rows: np.ndarray
+    full_weights_crc32: int
+    topology: Mapping[str, Any]
+    schedule: Mapping[str, Any]
+    config: Mapping[str, Any] = field(default_factory=dict)
+    backend: Optional[str] = None
+    classifier: bool = False
+    rejection_percentile: Optional[float] = None
+    rejection_margin: float = 1.0
+    rejection_threshold: Optional[float] = None
+    labelling: Optional[SnapshotLabelling] = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "row_indices", _frozen_array(np.asarray(self.row_indices, dtype=np.int64))
+        )
+        object.__setattr__(self, "rows", _frozen_array(self.rows))
+        object.__setattr__(self, "topology", dict(self.topology))
+        object.__setattr__(self, "schedule", dict(self.schedule))
+        object.__setattr__(self, "config", dict(self.config))
+        object.__setattr__(self, "metadata", dict(self.metadata))
+        if self.rows.shape != (len(self.row_indices), self.n_bits):
+            raise DataError(
+                f"delta rows of shape {self.rows.shape} do not match "
+                f"{len(self.row_indices)} touched rows of {self.n_bits} bits"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        """Number of touched neuron rows carried by this delta."""
+        return int(len(self.row_indices))
+
+    @classmethod
+    def between(
+        cls,
+        base: ModelSnapshot,
+        current: ModelSnapshot,
+        *,
+        metadata: Optional[Mapping[str, Any]] = None,
+    ) -> "DeltaSnapshot":
+        """Diff two snapshots of the same map into a row-level delta.
+
+        ``base`` must be an earlier snapshot of the *same* model (same kind
+        and shape, with a recorded weights-version); ``current`` supplies
+        the rows, labelling and rejection state the delta carries.
+        """
+        if base.kind != current.kind:
+            raise DataError(
+                f"cannot delta a {current.kind} against a {base.kind} base"
+            )
+        if (base.n_neurons, base.n_bits) != (current.n_neurons, current.n_bits):
+            raise DataError(
+                f"cannot delta a {current.n_neurons}x{current.n_bits} map "
+                f"against a {base.n_neurons}x{base.n_bits} base"
+            )
+        if base.weights_version is None or current.weights_version is None:
+            raise DataError(
+                "delta snapshots need both endpoints to carry a "
+                "weights_version (format-v2 snapshots)"
+            )
+        changed = np.flatnonzero(
+            np.any(np.asarray(base.weights) != np.asarray(current.weights), axis=1)
+        )
+        return cls(
+            kind=current.kind,
+            n_neurons=current.n_neurons,
+            n_bits=current.n_bits,
+            base_weights_version=int(base.weights_version),
+            weights_version=int(current.weights_version),
+            row_indices=changed,
+            rows=np.asarray(current.weights)[changed],
+            full_weights_crc32=weights_crc32(current.weights),
+            topology=current.topology,
+            schedule=current.schedule,
+            config=current.config,
+            backend=current.backend,
+            classifier=current.classifier,
+            rejection_percentile=current.rejection_percentile,
+            rejection_margin=current.rejection_margin,
+            rejection_threshold=current.rejection_threshold,
+            labelling=current.labelling,
+            metadata=metadata if metadata is not None else current.metadata,
+        )
+
+    def apply(self, base: ModelSnapshot) -> ModelSnapshot:
+        """Materialise a full :class:`ModelSnapshot` by patching ``base``.
+
+        Validates that ``base`` really is the snapshot this delta was taken
+        against (kind, shape, weights-version), patches the touched rows
+        into a copy of its weights, and verifies the recorded CRC32 of the
+        complete matrix before handing the result back.  Any mismatch
+        raises :class:`~repro.errors.SnapshotCorruptionError` -- a delta
+        never silently produces a wrong model.
+        """
+        if base.kind != self.kind:
+            raise DataError(
+                f"delta for a {self.kind} cannot apply to a {base.kind} base"
+            )
+        if (base.n_neurons, base.n_bits) != (self.n_neurons, self.n_bits):
+            raise DataError(
+                f"delta for a {self.n_neurons}x{self.n_bits} map cannot apply "
+                f"to a {base.n_neurons}x{base.n_bits} base"
+            )
+        if base.weights_version != self.base_weights_version:
+            raise DataError(
+                f"delta was taken against weights_version "
+                f"{self.base_weights_version}, but the base snapshot is at "
+                f"{base.weights_version}"
+            )
+        weights = np.array(base.weights, copy=True)
+        if self.n_rows:
+            weights[np.asarray(self.row_indices)] = np.asarray(self.rows)
+        actual = weights_crc32(weights)
+        if actual != self.full_weights_crc32:
+            raise SnapshotCorruptionError(
+                None,
+                f"materialised weights CRC32 {actual:#010x} does not match "
+                f"the recorded {self.full_weights_crc32:#010x} "
+                f"(weights_version {self.weights_version})",
+            )
+        return ModelSnapshot(
+            kind=self.kind,
+            n_neurons=self.n_neurons,
+            n_bits=self.n_bits,
+            weights=weights,
+            topology=self.topology,
+            schedule=self.schedule,
+            config=self.config,
+            weights_version=self.weights_version,
+            backend=self.backend,
+            classifier=self.classifier,
+            rejection_percentile=self.rejection_percentile,
+            rejection_margin=self.rejection_margin,
+            rejection_threshold=self.rejection_threshold,
+            labelling=self.labelling,
+            metadata=self.metadata,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeltaSnapshot({self.kind}, {self.n_rows}/{self.n_neurons} rows, "
+            f"v{self.base_weights_version}->v{self.weights_version})"
         )

@@ -42,6 +42,24 @@ class DataError(ReproError):
     """Input data is malformed (wrong dtype, empty, non-binary values...)."""
 
 
+class SnapshotCorruptionError(DataError):
+    """A snapshot archive or delta failed an integrity check.
+
+    Raised by the serialization layer when an ``.npz`` archive is truncated,
+    bit-flipped or otherwise unreadable, when a per-array CRC32 recorded in
+    the format-v2 header does not match the bytes actually read back, or
+    when materialising a delta snapshot produces weights whose checksum
+    disagrees with the one recorded at capture time.  Loading fails closed:
+    a corrupt model never reaches the serving registry.
+    """
+
+    def __init__(self, path, detail: str):
+        self.path = path
+        self.detail = detail
+        where = f"{path}: " if path is not None else ""
+        super().__init__(f"snapshot corrupt: {where}{detail}")
+
+
 class HardwareModelError(ReproError):
     """The cycle-accurate hardware simulation was driven incorrectly.
 

@@ -24,7 +24,12 @@ from repro.pipeline.metrics import (
     PipelineMetricsSnapshot,
     StageStats,
 )
-from repro.pipeline.online import OnlineLearner, OnlineLearnerConfig, OnlineUpdateReport
+from repro.pipeline.online import (
+    OnlineLearner,
+    OnlineLearnerConfig,
+    OnlineUpdateReport,
+    PublishedModel,
+)
 
 __all__ = [
     "RecognitionSystem",
@@ -38,4 +43,5 @@ __all__ = [
     "OnlineLearner",
     "OnlineLearnerConfig",
     "OnlineUpdateReport",
+    "PublishedModel",
 ]

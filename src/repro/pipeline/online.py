@@ -24,15 +24,19 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from repro.core.classifier import SomClassifier, UNKNOWN_LABEL
 from repro.core.labelling import NodeLabeller
 from repro.core.novelty import NoveltyDetector, calibrate_rejection_threshold
-from repro.core.snapshot import ModelSnapshot
+from repro.core.snapshot import DeltaSnapshot, ModelSnapshot
 from repro.errors import ConfigurationError, NotFittedError
+
+#: What the learner's periodic publisher receives: the first publication is
+#: a full snapshot (the base); every later one is a row-level delta.
+PublishedModel = Union[ModelSnapshot, DeltaSnapshot]
 
 
 @dataclass
@@ -51,12 +55,20 @@ class OnlineLearnerConfig:
     rejection_percentile, rejection_margin:
         Parameters for calibrating the novelty threshold when the
         classifier does not already have one.
+    publish_every:
+        When set (and the learner has a ``publisher``), republish the
+        model every N observed signatures: a full snapshot first (the
+        base), then row-level :class:`~repro.core.snapshot.DeltaSnapshot`
+        objects against the previously published version -- only the
+        neuron rows the on-line updates actually touched are carried.
+        ``None`` disables periodic publishing.
     """
 
     min_signatures: int = 20
     online_epochs: int = 3
     rejection_percentile: float = 99.0
     rejection_margin: float = 1.2
+    publish_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.min_signatures <= 0:
@@ -66,6 +78,10 @@ class OnlineLearnerConfig:
         if self.online_epochs <= 0:
             raise ConfigurationError(
                 f"online_epochs must be positive, got {self.online_epochs}"
+            )
+        if self.publish_every is not None and self.publish_every <= 0:
+            raise ConfigurationError(
+                f"publish_every must be positive or None, got {self.publish_every}"
             )
 
 
@@ -92,6 +108,14 @@ class OnlineLearner:
         an on-line update does not forget the known objects.
     config:
         Loop configuration.
+    publisher:
+        Optional callback invoked every ``config.publish_every``
+        observations with the current model: a full
+        :class:`~repro.core.snapshot.ModelSnapshot` on the first
+        publication, then :class:`~repro.core.snapshot.DeltaSnapshot`
+        objects against the previously published version.  Exceptions
+        raised by the callback propagate to the caller of
+        :meth:`observe` / :meth:`observe_many`.
     """
 
     def __init__(
@@ -100,6 +124,7 @@ class OnlineLearner:
         train_signatures: np.ndarray,
         train_labels: np.ndarray,
         config: OnlineLearnerConfig | None = None,
+        publisher: Optional[Callable[[PublishedModel], None]] = None,
     ):
         if classifier.labelling is None:
             raise NotFittedError("the classifier must be fitted before on-line learning")
@@ -120,6 +145,10 @@ class OnlineLearner:
         self._pending: dict[int, list[np.ndarray]] = defaultdict(list)
         self._next_label = int(self._y.max()) + 1 if self._y.size else 0
         self.updates: list[OnlineUpdateReport] = []
+        self.publisher = publisher
+        self._observed = 0
+        self._published_at = 0
+        self._published_base: Optional[ModelSnapshot] = None
 
     # ------------------------------------------------------------------ #
     # Streaming interface
@@ -134,13 +163,16 @@ class OnlineLearner:
         signature = np.asarray(signature, dtype=np.uint8)
         prediction = self.classifier.predict_one(signature)
         if prediction.label != UNKNOWN_LABEL and not self.detector.is_novel(signature):
+            self._note_observations(1)
             return prediction.label
 
         # Novel: buffer the signature against its track.
         self._pending[track_id].append(signature.copy())
+        label = UNKNOWN_LABEL
         if len(self._pending[track_id]) >= self.config.min_signatures:
-            return self._learn_track(track_id)
-        return UNKNOWN_LABEL
+            label = self._learn_track(track_id)
+        self._note_observations(1)
+        return label
 
     def observe_many(
         self, track_ids: np.ndarray, signatures: np.ndarray
@@ -172,8 +204,12 @@ class OnlineLearner:
         # folded the novelty decision into the rejection mask: the slow
         # path is exactly the UNKNOWN_LABEL rows.
         labels = prediction.labels.copy()
-        for index in np.flatnonzero(labels == UNKNOWN_LABEL):
+        slow = np.flatnonzero(labels == UNKNOWN_LABEL)
+        for index in slow:
             labels[index] = self.observe(int(track_ids[index]), signatures[index])
+        # observe() already counted the slow rows; credit the fast path too
+        # so publish_every measures total observed signatures.
+        self._note_observations(int(labels.size - slow.size))
         return labels
 
     def _learn_track(self, track_id: int) -> int:
@@ -241,6 +277,48 @@ class OnlineLearner:
         }
         annotations.update(metadata or {})
         return ModelSnapshot.of(self.classifier, metadata=annotations)
+
+    def snapshot_delta(self, base: ModelSnapshot) -> DeltaSnapshot:
+        """Diff the current model against a previously published ``base``.
+
+        Only the neuron rows the on-line updates actually touched are
+        carried; :meth:`DeltaSnapshot.apply` reconstructs the full
+        snapshot bit-exactly (checksum-verified).  Both endpoints must
+        carry a ``weights_version`` -- format-v2 snapshots always do.
+        """
+        return DeltaSnapshot.between(base, self.snapshot())
+
+    def _note_observations(self, count: int) -> None:
+        """Count observed signatures and publish when the period elapses."""
+        if count <= 0:
+            return
+        self._observed += count
+        period = self.config.publish_every
+        if self.publisher is None or period is None:
+            return
+        while self._observed - self._published_at >= period:
+            self._publish()
+
+    def _publish(self) -> None:
+        current = self.snapshot(
+            metadata={"published_at_observation": str(self._observed)}
+        )
+        if self._published_base is None:
+            self.publisher(current)
+        else:
+            self.publisher(DeltaSnapshot.between(self._published_base, current))
+        self._published_base = current
+        self._published_at = self._observed
+
+    @property
+    def observed(self) -> int:
+        """Total signatures seen through :meth:`observe` / :meth:`observe_many`."""
+        return self._observed
+
+    @property
+    def published_base(self) -> Optional[ModelSnapshot]:
+        """The most recently published snapshot (delta base), if any."""
+        return self._published_base
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -29,7 +29,12 @@ moving parts, front to back:
   deadlines, retry with jittered backoff, per-(model, shard) circuit
   breakers with stale-cache degradation, a shard supervisor that restarts
   dead/wedged workers, and the deterministic :class:`FaultInjector` the
-  chaos gate (``scripts/check_resilience.py``) drives them with, and
+  chaos gate (``scripts/check_resilience.py``) drives them with,
+* :mod:`repro.serve.rollout` -- guarded model rollouts: candidates shadow
+  live traffic (:class:`ShadowEvaluator`), optionally take a seeded canary
+  split (:meth:`ModelRegistry.set_route`), and are promoted or demoted by
+  a :class:`RolloutPolicy`, with a bounded rollback ring of replaced
+  versions (``scripts/check_rollout.py`` is the gate), and
 * :mod:`repro.serve.streams` -- simulated camera streams for load tests,
   demos and benchmarks.
 
@@ -51,12 +56,13 @@ from repro.errors import (
     ModelEvictedError,
     ResultTimeoutError,
     ShardFailedError,
+    SnapshotCorruptionError,
     UnknownModelError,
 )
 from repro.serve.batching import MicroBatch, MicroBatchScheduler
 from repro.serve.cache import CachedOutcome, SignatureLruCache
 from repro.serve.metrics import MetricsSnapshot, ServiceMetrics
-from repro.serve.registry import ModelRegistry, ModelSource
+from repro.serve.registry import ModelRegistry, ModelSource, TrafficRoute
 from repro.serve.request import (
     ClassificationRequest,
     ClassificationResponse,
@@ -67,7 +73,9 @@ from repro.serve.resilience import (
     FAULT_SITES,
     KERNEL_HANG,
     KERNEL_RAISE,
+    PROMOTE_FAILURE,
     SHARD_DEATH,
+    SNAPSHOT_CORRUPT,
     SWAP_FAILURE,
     BreakerBoard,
     BreakerConfig,
@@ -77,6 +85,15 @@ from repro.serve.resilience import (
     RetryPolicy,
     ShardSupervisor,
     SupervisorConfig,
+)
+from repro.serve.rollout import (
+    ROLLOUT_STAGE_CODES,
+    RolloutConfig,
+    RolloutManager,
+    RolloutPolicy,
+    RolloutStatus,
+    ShadowEvaluator,
+    ShadowStats,
 )
 from repro.serve.service import ServiceConfig, StreamingInferenceService
 from repro.serve.shard import ShardGroup, WorkerShard
@@ -91,6 +108,7 @@ __all__ = [
     "ServiceMetrics",
     "ModelRegistry",
     "ModelSource",
+    "TrafficRoute",
     "ModelEvictedError",
     "UnknownModelError",
     "CircuitOpenError",
@@ -98,6 +116,7 @@ __all__ = [
     "InjectedFaultError",
     "ResultTimeoutError",
     "ShardFailedError",
+    "SnapshotCorruptionError",
     "ClassificationRequest",
     "ClassificationResponse",
     "PendingResult",
@@ -105,7 +124,9 @@ __all__ = [
     "FAULT_SITES",
     "KERNEL_HANG",
     "KERNEL_RAISE",
+    "PROMOTE_FAILURE",
     "SHARD_DEATH",
+    "SNAPSHOT_CORRUPT",
     "SWAP_FAILURE",
     "BreakerBoard",
     "BreakerConfig",
@@ -115,6 +136,13 @@ __all__ = [
     "RetryPolicy",
     "ShardSupervisor",
     "SupervisorConfig",
+    "ROLLOUT_STAGE_CODES",
+    "RolloutConfig",
+    "RolloutManager",
+    "RolloutPolicy",
+    "RolloutStatus",
+    "ShadowEvaluator",
+    "ShadowStats",
     "ServiceConfig",
     "StreamingInferenceService",
     "ShardGroup",

@@ -42,11 +42,21 @@ Registry metric names (the vocabulary ``BENCH_serve.json`` will commit):
 ``serve_cache_errors_total``                counter    cache faults -> miss
 ``serve_shard_leaks_total``                 counter    wedged threads at stop
 ``serve_breaker_state{model,shard}``        gauge      0 closed/1 half/2 open
+``serve_shadow_requests_total{model}``      counter    requests mirrored to shadow
+``serve_shadow_disagreements_total{model}`` counter    shadow/primary disagreements
+``serve_shadow_dropped_total{model}``       counter    mirrors shed (queue full)
+``serve_rollout_promotions_total``          counter    candidates promoted
+``serve_rollout_demotions_total``           counter    candidates demoted
+``serve_rollout_rollbacks_total``           counter    ring rollbacks applied
+``serve_rollout_promote_failures_total``    counter    promote swaps that failed
+``serve_rollout_stage{model}``              gauge      rollout stage code
 ==========================================  =========  =======================
 
 (The breaker-state gauge is owned by
-:class:`repro.serve.resilience.BreakerBoard`; it lives in the same
-registry so exporters see it alongside the counters above.)
+:class:`repro.serve.resilience.BreakerBoard`, the shadow/rollout series by
+:class:`repro.serve.rollout.RolloutManager` -- stage codes are
+:data:`repro.serve.rollout.ROLLOUT_STAGE_CODES`; they live in the same
+registry so exporters see them alongside the counters above.)
 """
 
 from __future__ import annotations

@@ -26,9 +26,10 @@ which replaces the completion callback to add caching and telemetry.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
-from typing import Callable, Optional, Union
+from typing import Callable, Mapping, Optional, Union
 
 from repro.core.classifier import BatchPrediction, SomClassifier
 from repro.core.serialization import PathLike, load_model
@@ -47,6 +48,49 @@ from repro.serve.shard import BreakerGate, ShardGroup, WorkerShard
 
 #: What the registration/swap entry points accept as a model.
 ModelSource = Union[SomClassifier, ModelSnapshot]
+
+
+class TrafficRoute:
+    """One logical name's weighted split across registered versions.
+
+    Draws come from a ``random.Random`` seeded with ``f"{seed}:{name}"``,
+    so the Kth resolution of a route is a pure function of
+    ``(seed, name, K)`` -- a canary test that replays the same submission
+    sequence sees the same version assignment, independent of thread
+    interleaving across *other* routes and of ``PYTHONHASHSEED``.
+    """
+
+    __slots__ = ("name", "targets", "weights", "seed", "_cumulative", "_rng")
+
+    def __init__(self, name: str, weights: Mapping[str, float], seed: int):
+        total = float(sum(weights.values()))
+        if total <= 0:
+            raise ConfigurationError(
+                f"route for {name!r} needs a positive total weight, got {total}"
+            )
+        self.name = name
+        self.targets = tuple(weights)
+        self.weights = tuple(float(w) / total for w in weights.values())
+        self.seed = int(seed)
+        cumulative: list[float] = []
+        acc = 0.0
+        for w in self.weights:
+            acc += w
+            cumulative.append(acc)
+        cumulative[-1] = 1.0  # guard against float drift on the last bucket
+        self._cumulative = tuple(cumulative)
+        self._rng = random.Random(f"{seed}:{name}")
+
+    def draw(self) -> str:
+        """Pick one target version (caller holds the registry lock)."""
+        r = self._rng.random()
+        for target, edge in zip(self.targets, self._cumulative):
+            if r < edge:
+                return target
+        return self.targets[-1]
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(zip(self.targets, self.weights))
 
 
 class ModelRegistry:
@@ -96,6 +140,7 @@ class ModelRegistry:
         self._lock = threading.Lock()
         self._groups: dict[str, ShardGroup] = {}
         self._classifiers: dict[str, SomClassifier] = {}
+        self._routes: dict[str, TrafficRoute] = {}
         self._started = False
         self._completion: Callable[[WorkerShard, MicroBatch, BatchPrediction], None] = (
             self._default_completion
@@ -327,6 +372,15 @@ class ModelRegistry:
                 raise UnknownModelError(name, tuple(self._groups))
             classifier = self._classifiers.pop(name)
             remaining = tuple(self._groups)
+            # Routes pointing at (or keyed by) the evicted name would
+            # resolve requests into a void; drop them with the model.
+            dropped_routes = [
+                key
+                for key, route in self._routes.items()
+                if key == name or name in route.targets
+            ]
+            for key in dropped_routes:
+                del self._routes[key]
         error = ModelEvictedError(name, remaining)
         # First pass: fail what is queued right now (covers never-started
         # shards, whose queues would otherwise strand their futures).
@@ -337,8 +391,65 @@ class ModelRegistry:
         # holding a direct group reference could still have submitted).
         cancelled += group.cancel_queued(error)
         self._emit("evict", model=name, cancelled_requests=cancelled)
+        for key in dropped_routes:
+            self._emit("route_cleared", model=key)
         self._dispatch_retired(name)
         return classifier
+
+    # ------------------------------------------------------------------ #
+    # Versioned traffic routing
+    # ------------------------------------------------------------------ #
+    def set_route(
+        self, name: str, weights: Mapping[str, float], *, seed: int = 0
+    ) -> None:
+        """Split traffic submitted under ``name`` across registered versions.
+
+        ``weights`` maps registered model names (e.g. ``"hall"`` and
+        ``"hall@v3"``) to positive weights; they are normalised to a
+        distribution, and every subsequent :meth:`resolve` of ``name``
+        draws one version from it.  Draws come from a stream seeded with
+        ``f"{seed}:{name}"``, so the assignment sequence is reproducible.
+        Setting a route replaces any previous route for the name
+        atomically; in-flight requests keep the version they were already
+        resolved to.
+        """
+        if not weights:
+            raise ConfigurationError(f"route for {name!r} needs at least one target")
+        route = TrafficRoute(name, weights, seed)
+        with self._lock:
+            missing = [t for t in route.targets if t not in self._groups]
+            if missing:
+                raise UnknownModelError(missing[0], tuple(self._groups))
+            self._routes[name] = route
+        self._emit("route_set", model=name, targets=route.as_dict(), seed=route.seed)
+
+    def clear_route(self, name: str) -> bool:
+        """Remove ``name``'s traffic split (back to direct lookup)."""
+        with self._lock:
+            removed = self._routes.pop(name, None) is not None
+        if removed:
+            self._emit("route_cleared", model=name)
+        return removed
+
+    def route(self, name: str) -> Optional[dict[str, float]]:
+        """The normalised weights of ``name``'s split, or ``None``."""
+        with self._lock:
+            route = self._routes.get(name)
+            return route.as_dict() if route is not None else None
+
+    def resolve(self, name: str) -> str:
+        """Map a logical model name to the concrete version serving it now.
+
+        Unrouted names resolve to themselves, so the call is a cheap
+        pass-through for the common no-canary case.  The returned name is
+        what batches, cache keys and responses carry -- a request, once
+        resolved, sticks to its version for its whole lifetime.
+        """
+        with self._lock:
+            route = self._routes.get(name)
+            if route is None:
+                return name
+            return route.draw()
 
     # ------------------------------------------------------------------ #
     # Lookup and routing

@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
+from repro.core.serialization import SNAPSHOT_CORRUPT_SITE
 from repro.errors import ConfigurationError, InjectedFaultError, ShardFailedError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -58,8 +59,20 @@ KERNEL_HANG = "kernel_hang"  # shard kernel sleeps `hang_s` (wedged worker)
 SHARD_DEATH = "shard_death"  # worker thread dies with a batch in hand
 SWAP_FAILURE = "swap_failure"  # ModelRegistry.swap raises before the flip
 CACHE_CODEC = "cache_codec"  # signature-cache get/put raises
+PROMOTE_FAILURE = "promote_failure"  # rollout promotion raises mid-transition
+# Archive loads fail closed as corrupt; the site name itself is owned by the
+# core layer (repro.core.serialization) so load_snapshot never imports serve.
+SNAPSHOT_CORRUPT = SNAPSHOT_CORRUPT_SITE
 
-FAULT_SITES = (KERNEL_RAISE, KERNEL_HANG, SHARD_DEATH, SWAP_FAILURE, CACHE_CODEC)
+FAULT_SITES = (
+    KERNEL_RAISE,
+    KERNEL_HANG,
+    SHARD_DEATH,
+    SWAP_FAILURE,
+    CACHE_CODEC,
+    PROMOTE_FAILURE,
+    SNAPSHOT_CORRUPT,
+)
 
 
 @dataclass(frozen=True)
@@ -381,6 +394,11 @@ class BreakerBoard:
         self._lock = threading.Lock()
         self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
         self._last_state: dict[tuple[str, str], str] = {}
+        #: Optional ``(model, shard)`` callback invoked when a breaker
+        #: transitions to open.  The rollout manager hooks this to trigger
+        #: breaker-driven rollback of a freshly promoted model; exceptions
+        #: are swallowed so a misbehaving hook cannot poison the breaker.
+        self.on_open: Optional[Callable[[str, str], None]] = None
 
     def breaker(self, model: str, shard: str) -> CircuitBreaker:
         key = (model, shard)
@@ -402,7 +420,14 @@ class BreakerBoard:
         with self._lock:
             previous = self._last_state.get((model, shard), "closed")
             self._last_state[(model, shard)] = state
-        if self._events is None or previous == state:
+        if previous == state:
+            return
+        if state == "open" and self.on_open is not None:
+            try:
+                self.on_open(model, shard)
+            except Exception:  # pragma: no cover - hooks must not poison
+                pass
+        if self._events is None:
             return
         if state == "open":
             self._events.emit("breaker_open", model=model, shard=shard)

@@ -70,6 +70,7 @@ from repro.serve.request import (
     resolve_follower,
     resolve_requests,
 )
+from repro.serve.rollout import RolloutConfig, RolloutManager
 from repro.serve.shard import WorkerShard
 from repro.signatures.packing import packed_signature_words
 
@@ -234,6 +235,7 @@ class StreamingInferenceService:
                 events=self.obs.events,
             )
             self.registry.bind_breakers(self._board.allow)
+        self._rollout: Optional[RolloutManager] = None
         self._supervisor: Optional[ShardSupervisor] = None
         if self.config.supervisor is not None:
             self._supervisor = ShardSupervisor(
@@ -298,6 +300,10 @@ class StreamingInferenceService:
         # below would resurrect workers the registry is trying to join.
         if self._supervisor is not None:
             self._supervisor.stop()
+        # Rollouts next, while the registry is still up: demoting an
+        # in-flight candidate drains and evicts its canary group cleanly.
+        if self._rollout is not None:
+            self._rollout.stop()
         self._stop_event.set()
         self._wake.set()
         if self._dispatcher is not None:
@@ -363,6 +369,29 @@ class StreamingInferenceService:
                 lane, ModelEvictedError(name, self.registry.names()), shed=False
             )
         return classifier
+
+    def enable_rollouts(
+        self, config: Optional[RolloutConfig] = None
+    ) -> RolloutManager:
+        """Attach the guarded-rollout machinery (idempotent; returns it).
+
+        Once enabled, :meth:`RolloutManager.begin` shadow-evaluates
+        candidates against live traffic, the configured
+        :class:`~repro.serve.rollout.RolloutPolicy` promotes or demotes
+        them automatically, and -- when circuit breakers are configured and
+        ``rollback_on_breaker`` is set -- a breaker opening on a freshly
+        promoted model swaps the previous snapshot back in.
+        """
+        if self._rollout is None:
+            self._rollout = RolloutManager(self, config)
+            if self._board is not None:
+                self._board.on_open = self._rollout.on_breaker_open
+        return self._rollout
+
+    @property
+    def rollouts(self) -> Optional[RolloutManager]:
+        """The attached :class:`RolloutManager`, or ``None``."""
+        return self._rollout
 
     def _on_model_retired(self, name: str) -> None:
         """Registry hook: a swap/evict displaced ``name``'s classifier.
@@ -457,6 +486,11 @@ class StreamingInferenceService:
     ) -> PendingResult:
         if not self._running:
             raise ServiceError("the service is not running; call start() first")
+        # Canary routing: a logical name under an active traffic split
+        # resolves to a concrete version here, once, so lanes, cache keys,
+        # dedup keys and the response all carry the version that actually
+        # serves the request.  Unrouted names pass through untouched.
+        model = self.registry.resolve(model)
         classifier = self.registry.classifier(model)  # raises UnknownModelError
         signature = np.asarray(signature)
         # Validate and pack exactly once: the uint64 words are both the
@@ -892,6 +926,14 @@ class StreamingInferenceService:
                     # A cache write fault loses a memoisation, nothing
                     # else: the response was already delivered above.
                     self.metrics.record_cache_error()
+        if self._rollout is not None:
+            # Shadow mirroring runs dead last: every caller already has its
+            # answer, so a slow (or crashing) candidate cannot touch the
+            # primary path.  The hook itself only enqueues.
+            try:
+                self._rollout.mirror_batch(batch, responses)
+            except Exception:  # pragma: no cover - mirroring must not fail
+                pass
 
     def _on_batch_failed(
         self, shard: WorkerShard, batch: MicroBatch, error: BaseException

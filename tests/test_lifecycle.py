@@ -521,6 +521,51 @@ class TestPipelineSnapshotAdoption:
         finally:
             service.stop()
 
+    def test_online_learner_publishes_full_then_deltas(self, cluster_data):
+        from repro.core import DeltaSnapshot
+        from repro.pipeline import OnlineLearner, OnlineLearnerConfig
+
+        X, y = cluster_data
+        classifier = _fit(X, y, epochs=8)
+        published = []
+        learner = OnlineLearner(
+            classifier,
+            X,
+            y,
+            config=OnlineLearnerConfig(
+                min_signatures=6, online_epochs=1, publish_every=4
+            ),
+            publisher=published.append,
+        )
+        rng = np.random.default_rng(7)
+        novel = np.where(
+            rng.random((12, X.shape[1])) < 0.05, X[0], 1 - X[0]
+        ).astype(np.uint8)
+        for row in novel:
+            learner.observe(500, row)
+
+        assert learner.observed == 12
+        assert len(published) == 3  # at observations 4, 8, 12
+        assert isinstance(published[0], ModelSnapshot)
+        assert all(isinstance(d, DeltaSnapshot) for d in published[1:])
+        # The delta chain materialises bit-exactly, and the result swaps
+        # into a live service like any full snapshot.
+        snapshot = published[0]
+        for delta in published[1:]:
+            snapshot = delta.apply(snapshot)
+        np.testing.assert_array_equal(
+            snapshot.weights, learner.published_base.weights
+        )
+        service = api.serve(
+            {"hall": ModelSnapshot.of(classifier)},
+            config=ServiceConfig(batch_size=4, max_delay_ms=2.0),
+        )
+        try:
+            api.swap(service, "hall", snapshot)
+            assert len(service.classify("hall", X[:4])) == 4
+        finally:
+            service.stop()
+
 
 # --------------------------------------------------------------------- #
 # Eviction racing live submission: terminate, never hang

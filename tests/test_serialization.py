@@ -1,18 +1,22 @@
 """Unit tests for model serialisation (codec-based format v2 + v1 compat)."""
 
 import json
+import zipfile
 
 import numpy as np
 import pytest
 
 from repro.core import (
     BinarySom,
+    DeltaSnapshot,
     KohonenSom,
     LossySerializationWarning,
     ModelSnapshot,
     SomClassifier,
+    load_delta,
     load_model,
     load_snapshot,
+    save_delta,
     save_model,
     snapshot_model,
 )
@@ -25,7 +29,7 @@ from repro.core.topology import (
     RingTopology,
     StepwiseNeighbourhoodSchedule,
 )
-from repro.errors import DataError
+from repro.errors import DataError, SnapshotCorruptionError
 
 
 class TestSaveLoadMaps:
@@ -314,3 +318,147 @@ class TestModelSnapshot:
         rebuilt = ModelSnapshot.of(fitted).to_model()
         assert isinstance(rebuilt, SomClassifier)
         np.testing.assert_array_equal(rebuilt.predict(X), fitted.predict(X))
+
+
+# --------------------------------------------------------------------- #
+# Crash-safe archives: atomic writes, checksums, fail-closed loads
+# --------------------------------------------------------------------- #
+def _fitted_snapshot(cluster_data, seed=0):
+    X, y = cluster_data
+    classifier = SomClassifier(BinarySom(8, X.shape[1], seed=seed)).fit(
+        X, y, epochs=2, seed=1
+    )
+    return ModelSnapshot.of(classifier)
+
+
+def _flip_member_byte(path, member, offset=8):
+    """Flip one bit inside ``member``'s compressed data region."""
+    raw = bytearray(path.read_bytes())
+    with zipfile.ZipFile(path) as archive:
+        info = next(i for i in archive.infolist() if member in i.filename)
+    base = info.header_offset
+    name_len = int.from_bytes(raw[base + 26 : base + 28], "little")
+    extra_len = int.from_bytes(raw[base + 28 : base + 30], "little")
+    data_start = base + 30 + name_len + extra_len
+    raw[data_start + offset] ^= 0x40
+    path.write_bytes(bytes(raw))
+
+
+class TestCrashSafeArchives:
+    def test_save_is_atomic_and_leaves_no_temp_files(self, tmp_path, cluster_data):
+        snapshot = _fitted_snapshot(cluster_data)
+        save_model(snapshot, tmp_path / "m.npz")
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "m.npz"]
+        assert leftovers == []
+
+    def test_header_records_a_checksum_per_array(self, tmp_path, cluster_data):
+        snapshot = _fitted_snapshot(cluster_data)
+        path = save_model(snapshot, tmp_path / "m.npz")
+        with np.load(path) as archive:
+            header = json.loads(bytes(archive["header"].tobytes()).decode())
+            names = set(archive.files) - {"header"}
+        assert set(header["checksums"]) == names
+        assert all(isinstance(v, int) for v in header["checksums"].values())
+
+    def test_truncated_archive_fails_closed(self, tmp_path, cluster_data):
+        snapshot = _fitted_snapshot(cluster_data)
+        path = save_model(snapshot, tmp_path / "m.npz")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(SnapshotCorruptionError):
+            load_snapshot(path)
+
+    def test_bit_flip_in_array_data_fails_closed(self, tmp_path, cluster_data):
+        snapshot = _fitted_snapshot(cluster_data)
+        path = save_model(snapshot, tmp_path / "m.npz")
+        _flip_member_byte(path, "weights")
+        with pytest.raises(SnapshotCorruptionError):
+            load_snapshot(path)
+
+    def test_corruption_error_is_a_data_error(self):
+        assert issubclass(SnapshotCorruptionError, DataError)
+
+    def test_injected_corruption_site(self, tmp_path, cluster_data):
+        from repro.serve import SNAPSHOT_CORRUPT, FaultInjector, FaultSpec
+
+        snapshot = _fitted_snapshot(cluster_data)
+        path = save_model(snapshot, tmp_path / "m.npz")
+        injector = FaultInjector(
+            seed=3, specs=[FaultSpec(site=SNAPSHOT_CORRUPT, probability=1.0)]
+        )
+        with pytest.raises(SnapshotCorruptionError):
+            load_snapshot(path, fault_injector=injector)
+        # The archive itself is fine: a clean load still works.
+        assert load_snapshot(path).is_fitted
+
+
+# --------------------------------------------------------------------- #
+# Delta snapshots: row-level diffs, checksum-verified materialisation
+# --------------------------------------------------------------------- #
+class TestDeltaSnapshots:
+    def _base_and_current(self, cluster_data):
+        X, y = cluster_data
+        classifier = SomClassifier(BinarySom(12, X.shape[1], seed=4)).fit(
+            X, y, epochs=2, seed=1
+        )
+        base = ModelSnapshot.of(classifier)
+        for row in X[:6]:
+            classifier.som.partial_fit(row, 0, 4)
+        current = ModelSnapshot.of(classifier)
+        return base, current
+
+    def test_between_apply_is_bit_exact(self, cluster_data):
+        base, current = self._base_and_current(cluster_data)
+        delta = DeltaSnapshot.between(base, current)
+        assert 0 < delta.n_rows <= base.weights.shape[0]
+        applied = delta.apply(base)
+        np.testing.assert_array_equal(applied.weights, current.weights)
+        assert applied.weights_version == current.weights_version
+        np.testing.assert_array_equal(
+            applied.labelling.node_labels, current.labelling.node_labels
+        )
+
+    def test_apply_refuses_wrong_base(self, cluster_data):
+        base, current = self._base_and_current(cluster_data)
+        delta = DeltaSnapshot.between(base, current)
+        with pytest.raises(DataError):
+            delta.apply(current)  # weights_version mismatch
+
+    def test_tampered_checksum_fails_closed(self, cluster_data):
+        import dataclasses
+
+        base, current = self._base_and_current(cluster_data)
+        delta = DeltaSnapshot.between(base, current)
+        tampered = dataclasses.replace(
+            delta, full_weights_crc32=delta.full_weights_crc32 ^ 1
+        )
+        with pytest.raises(SnapshotCorruptionError):
+            tampered.apply(base)
+
+    def test_delta_archive_roundtrip(self, tmp_path, cluster_data):
+        base, current = self._base_and_current(cluster_data)
+        delta = DeltaSnapshot.between(base, current, metadata={"source": "online"})
+        path = save_delta(delta, tmp_path / "d.npz")
+        loaded = load_delta(path)
+        assert loaded.metadata["source"] == "online"
+        np.testing.assert_array_equal(loaded.row_indices, delta.row_indices)
+        applied = loaded.apply(base)
+        np.testing.assert_array_equal(applied.weights, current.weights)
+
+    def test_loaders_refuse_the_wrong_archive_kind(self, tmp_path, cluster_data):
+        base, current = self._base_and_current(cluster_data)
+        full_path = save_model(base, tmp_path / "full.npz")
+        delta_path = save_delta(
+            DeltaSnapshot.between(base, current), tmp_path / "d.npz"
+        )
+        with pytest.raises(DataError, match="delta"):
+            load_snapshot(delta_path)
+        with pytest.raises(DataError, match="full model"):
+            load_delta(full_path)
+
+    def test_corrupted_delta_archive_fails_closed(self, tmp_path, cluster_data):
+        base, current = self._base_and_current(cluster_data)
+        path = save_delta(DeltaSnapshot.between(base, current), tmp_path / "d.npz")
+        _flip_member_byte(path, "rows")
+        with pytest.raises(SnapshotCorruptionError):
+            load_delta(path)
