@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI gate: project-native static analysis over ``src/repro``.
+
+Runs every rule in :data:`repro.analysis.DEFAULT_RULES` (lock-order,
+unguarded-shared-state, thread-hygiene, determinism, metric/event
+vocabulary, error-taxonomy, export-surface, import-cycle) against the
+tree, compares the findings with the committed
+``src/repro/analysis/baseline.json``, and exits nonzero if any *new*
+finding appears.  Stdlib only; the whole run takes well under a second.
+
+Usage::
+
+    python scripts/check_static.py              # gate (CI entry point)
+    python scripts/check_static.py --list-rules # rule table
+    python scripts/check_static.py --all        # show known findings too
+    python scripts/check_static.py --update-baseline
+        # accept the current findings as the new baseline -- do this only
+        # for deliberate exceptions you cannot express with an inline
+        # `# repro: allow[rule]` pragma, and explain them in the PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_BASELINE_PATH,
+    DEFAULT_RULES,
+    diff_against_baseline,
+    load_baseline,
+    load_project,
+    run_rules,
+    save_baseline,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to the committed baseline",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="also print findings already covered by the baseline",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(rule.name) for rule in DEFAULT_RULES)
+        for rule in DEFAULT_RULES:
+            print(f"{rule.name:<{width}}  {rule.description}")
+        return 0
+
+    started = time.perf_counter()
+    project = load_project(REPO_ROOT / "src", package="repro", repo_root=REPO_ROOT)
+    findings = run_rules(project, DEFAULT_RULES)
+    diff = diff_against_baseline(findings, load_baseline(DEFAULT_BASELINE_PATH))
+    elapsed = time.perf_counter() - started
+
+    if args.update_baseline:
+        save_baseline(findings, DEFAULT_BASELINE_PATH)
+        print(
+            f"check_static: baseline rewritten with {len(findings)} "
+            f"finding(s) at {DEFAULT_BASELINE_PATH}"
+        )
+        return 0
+
+    print(
+        f"check_static: {len(project.modules)} modules, "
+        f"{len(DEFAULT_RULES)} rules, {len(findings)} finding(s) "
+        f"({len(diff.known)} baselined) in {elapsed:.2f}s"
+    )
+    if args.all and diff.known:
+        print("\nbaselined findings:")
+        for finding in diff.known:
+            print(f"  {finding.render()}")
+    if diff.stale:
+        print(
+            f"\n{len(diff.stale)} stale baseline entr"
+            f"{'y' if len(diff.stale) == 1 else 'ies'} (fixed or removed "
+            "code; run --update-baseline to drop):"
+        )
+        for key in diff.stale:
+            print(f"  {key}")
+    if diff.new:
+        print(f"\nNEW findings ({len(diff.new)}):", file=sys.stderr)
+        for finding in diff.new:
+            print(f"  {finding.render()}", file=sys.stderr)
+        print(
+            "\ncheck_static: FAILED -- fix the findings above, or silence "
+            "a deliberate exception with `# repro: allow[rule-name]` plus "
+            "a comment explaining why (baseline updates are for "
+            "exceptions that cannot carry a pragma).",
+            file=sys.stderr,
+        )
+        return 1
+    print("check_static: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,15 @@ cd "${REPO_ROOT}"
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "=== static analysis: lock-order / thread-safety / determinism / vocabulary ==="
+# Project-native lints over src/repro (stdlib ast, sub-second): lock
+# acquisition cycles, unguarded shared state, thread hygiene, unseeded
+# randomness and wall-clock use in serve/obs, metric/event vocabulary
+# two-way doc sync, error taxonomy, exact __all__, import cycles.  Fails
+# on any finding not in src/repro/analysis/baseline.json.
+python scripts/check_static.py
+
+echo
 echo "=== tier-1: pytest (tests/ + benchmarks/) ==="
 python -m pytest -x -q "$@"
 

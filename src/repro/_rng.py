@@ -14,6 +14,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
 
@@ -38,6 +40,6 @@ def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     the whole experiment is reproducible from one seed.
     """
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+        raise ConfigurationError(f"count must be non-negative, got {count}")
     seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]

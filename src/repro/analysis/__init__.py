@@ -1,0 +1,94 @@
+"""Project-native static analysis: machine-checked structural invariants.
+
+The serve stack is a deeply concurrent system -- per-metric locks, shard
+worker threads with an epoch/claim protocol, a supervisor watchdog,
+breaker boards, shadow evaluators -- and its hard-won invariants (lock
+ordering, guarded shared state, named daemon threads, seed-replayable
+randomness, one metric vocabulary) used to live in reviewer memory.
+This package encodes each invariant once, as an AST-level :class:`Rule`
+over a parsed :class:`Project`, and ``scripts/check_static.py`` gates CI
+on them: the contract is the code, deviations are findings.
+
+Stdlib :mod:`ast` only -- the gate runs in well under five seconds with
+no third-party dependencies.
+
+Usage::
+
+    from pathlib import Path
+    from repro.analysis import DEFAULT_RULES, load_project, run_rules
+
+    project = load_project(Path("src"), package="repro")
+    for finding in run_rules(project, DEFAULT_RULES):
+        print(finding.render())
+
+Suppression: ``# repro: allow[rule-name]`` on the finding's line (or a
+standalone comment line directly above) silences that rule there --
+always pair it with a comment explaining *why* the exception is sound.
+Grandfathered findings live in the committed ``baseline.json`` next to
+this file; the gate fails only on findings absent from it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_PATH,
+    BaselineDiff,
+    diff_against_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.framework import Finding, Rule, render_report, run_rules
+from repro.analysis.loader import Project, load_project
+from repro.analysis.rules_concurrency import (
+    LockOrderRule,
+    ThreadHygieneRule,
+    UnguardedSharedStateRule,
+)
+from repro.analysis.rules_determinism import DeterminismRule
+from repro.analysis.rules_structure import (
+    ErrorTaxonomyRule,
+    ExportSurfaceRule,
+    ImportCycleRule,
+)
+from repro.analysis.rules_vocabulary import (
+    EventVocabularyRule,
+    MetricVocabularyRule,
+)
+
+#: Every shipped rule, in report order.  ``scripts/check_static.py`` runs
+#: exactly this tuple; tests instantiate rules individually.
+DEFAULT_RULES: tuple[Rule, ...] = (
+    LockOrderRule(),
+    UnguardedSharedStateRule(),
+    ThreadHygieneRule(),
+    DeterminismRule(),
+    MetricVocabularyRule(),
+    EventVocabularyRule(),
+    ErrorTaxonomyRule(),
+    ExportSurfaceRule(),
+    ImportCycleRule(),
+)
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_RULES",
+    "BaselineDiff",
+    "DeterminismRule",
+    "ErrorTaxonomyRule",
+    "EventVocabularyRule",
+    "ExportSurfaceRule",
+    "Finding",
+    "ImportCycleRule",
+    "LockOrderRule",
+    "MetricVocabularyRule",
+    "Project",
+    "Rule",
+    "ThreadHygieneRule",
+    "UnguardedSharedStateRule",
+    "diff_against_baseline",
+    "load_baseline",
+    "load_project",
+    "render_report",
+    "run_rules",
+    "save_baseline",
+]

@@ -1,0 +1,84 @@
+"""Committed-baseline support: the gate fails only on *new* findings.
+
+The baseline is a JSON document listing grandfathered finding keys
+(rule + path + message; line numbers are deliberately absent so findings
+survive unrelated edits).  ``scripts/check_static.py`` compares a fresh
+run against it:
+
+* a finding whose key is **not** in the baseline is *new* -> CI fails,
+* a baseline entry no fresh finding matches is *stale* -> reported, and
+  removed by ``--update-baseline`` (the gate does not fail on stale
+  entries, so deleting dead code never blocks a PR, but leaving them
+  around is noise the updater cleans up).
+
+The committed file lives next to this module
+(:data:`DEFAULT_BASELINE_PATH`) so the analyzer and its exception list
+travel together.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.framework import Finding
+
+#: The baseline committed with the analyzer package.
+DEFAULT_BASELINE_PATH = Path(__file__).with_name("baseline.json")
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineDiff:
+    """Result of comparing fresh findings against a baseline."""
+
+    new: tuple[Finding, ...]
+    known: tuple[Finding, ...]
+    stale: tuple[str, ...]  # baseline keys with no matching fresh finding
+
+
+def load_baseline(path: Path | str = DEFAULT_BASELINE_PATH) -> set[str]:
+    """Read baselined finding keys; an absent file means an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    document = json.loads(path.read_text(encoding="utf-8"))
+    entries = document.get("findings", [])
+    keys = set()
+    for entry in entries:
+        keys.add(f"{entry['rule']}::{entry['path']}::{entry['message']}")
+    return keys
+
+
+def save_baseline(
+    findings: Sequence[Finding], path: Path | str = DEFAULT_BASELINE_PATH
+) -> None:
+    """Write the given findings as the new baseline (sorted, stable)."""
+    entries = sorted(
+        (
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["rule"], e["message"]),
+    )
+    document = {"version": _FORMAT_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def diff_against_baseline(
+    findings: Iterable[Finding], baseline: set[str]
+) -> BaselineDiff:
+    """Split findings into new vs known and report stale baseline keys."""
+    new: list[Finding] = []
+    known: list[Finding] = []
+    seen_keys: set[str] = set()
+    for finding in findings:
+        seen_keys.add(finding.key)
+        (known if finding.key in baseline else new).append(finding)
+    stale = tuple(sorted(baseline - seen_keys))
+    return BaselineDiff(new=tuple(new), known=tuple(known), stale=stale)

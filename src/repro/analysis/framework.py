@@ -1,0 +1,92 @@
+"""Rule/Finding framework: what a lint is and how a run is filtered.
+
+A :class:`Rule` inspects a loaded :class:`~repro.analysis.loader.Project`
+and yields :class:`Finding`s.  :func:`run_rules` applies the inline
+``# repro: allow[rule-name]`` suppression pragmas and returns the
+surviving findings in a stable (path, line, rule) order, so reports and
+the committed baseline are diffable.
+
+A finding's :attr:`Finding.key` deliberately excludes the line number:
+baselined findings must survive unrelated edits above them, so identity
+is (rule, path, message) -- messages therefore name the symbol they are
+about rather than a position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.loader import Project
+
+#: Finding severities, in increasing order of urgency.  The CI gate fails
+#: on any *new* finding regardless of severity; severities exist so a
+#: report reads in priority order.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one place in the tree."""
+
+    rule: str
+    path: str  # repo-root-relative posix path
+    line: int
+    message: str
+    severity: str = "error"
+
+    @property
+    def key(self) -> str:
+        """Line-independent identity used by the baseline."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class for one project-native lint.
+
+    Subclasses set :attr:`name` (the pragma/baseline identifier),
+    :attr:`description` and :attr:`hazard`, and implement :meth:`check`.
+    """
+
+    name: str = ""
+    description: str = ""
+    hazard: str = ""
+    default_severity: str = "error"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, path: str, line: int, message: str, severity: str | None = None
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=path,
+            line=line,
+            message=message,
+            severity=severity or self.default_severity,
+        )
+
+
+def run_rules(
+    project: Project, rules: Sequence[Rule]
+) -> list[Finding]:
+    """Run every rule, drop pragma-suppressed findings, sort the rest."""
+    path_to_module = {m.rel_path: m for m in project.modules.values()}
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(project):
+            module = path_to_module.get(finding.path)
+            if module is not None and module.suppressed(finding.line, rule.name):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings
+
+
+def render_report(findings: Iterable[Finding]) -> str:
+    """One ``file:line rule message`` line per finding."""
+    return "\n".join(f.render() for f in findings)

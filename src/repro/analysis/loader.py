@@ -1,0 +1,622 @@
+"""Project loader: parse a package tree into an analysable symbol table.
+
+The static-analysis rules in this package do not run on raw ASTs.  This
+module parses every ``*.py`` file under a package root once (stdlib
+:mod:`ast` only -- no third-party dependency, so the CI gate stays cheap)
+and extracts the shared structures the rules actually reason about:
+
+* per-module: the AST, source lines, module-level imports (for the
+  import-cycle rule), ``raise`` sites, metric registrations and event
+  emissions, and the ``# repro: allow[rule]`` suppression pragmas,
+* per-class: lock attributes (``self._x = threading.Lock()``), thread
+  entry points (``target=self._run`` or a ``threading.Thread`` base), and
+* per-method: attribute writes and intra-class ``self.*()`` calls, each
+  annotated with the set of ``self`` locks held at that point (derived
+  from lexical ``with self._lock:`` nesting).
+
+Lock tracking is intentionally *intra-instance*: a held-lock set contains
+attribute names on ``self`` only, which is where every deadlock this
+codebase has actually shipped lived (nested ``with`` plus a helper call
+that takes a second lock).  Cross-object lock graphs are out of scope and
+belong behind a pragma when a rule misfires on one.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+#: Inline suppression pragma.  ``# repro: allow[rule-a, rule-b]`` on the
+#: finding's line (or on a standalone comment line directly above it)
+#: silences those rules for that line.
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([a-zA-Z0-9_,\- ]+)\]")
+
+#: Constructors whose result makes an instance attribute a "lock" for the
+#: concurrency rules.  ``RLock`` is tracked separately: re-acquiring one
+#: while held is legal, so it is exempt from the self-deadlock edge.
+_LOCK_CONSTRUCTORS = {"Lock", "RLock"}
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass(frozen=True)
+class AttributeWrite:
+    """A mutation of ``self.<attr>`` (assign, augassign or item-assign)."""
+
+    attr: str
+    line: int
+    locks_held: frozenset[str]
+    kind: str  # "assign" | "augassign" | "item"
+
+
+@dataclass(frozen=True)
+class SelfCall:
+    """An intra-class ``self.<method>(...)`` call site."""
+
+    method: str
+    line: int
+    locks_held: frozenset[str]
+
+
+@dataclass(frozen=True)
+class LockAcquire:
+    """A ``with self.<lock>:`` entry, with the locks already held outside."""
+
+    lock: str
+    line: int
+    locks_held: frozenset[str]
+
+
+@dataclass(frozen=True)
+class ThreadCreation:
+    """A ``threading.Thread(...)`` construction site."""
+
+    line: int
+    has_name: bool
+    daemon: Optional[bool]  # True/False if a constant kwarg, None if absent
+    target_self_method: Optional[str]  # "run" for target=self._run -> "_run"
+
+
+@dataclass(frozen=True)
+class JoinCall:
+    """An ``<expr>.join(...)`` call (argument-less joins have no timeout)."""
+
+    line: int
+    receiver: str
+    has_timeout: bool
+
+
+@dataclass(frozen=True)
+class RaiseSite:
+    """A ``raise <Name-or-dotted>(...)`` statement."""
+
+    exc_name: str
+    line: int
+    function: str  # enclosing function name ("" at module level)
+
+
+@dataclass(frozen=True)
+class MetricRegistration:
+    """A ``<registry>.counter|gauge|histogram("name", ...)`` call site."""
+
+    name: str
+    kind: str  # counter | gauge | histogram
+    line: int
+
+
+@dataclass(frozen=True)
+class EventEmission:
+    """An ``emit("kind", ...)`` / ``_emit("kind", ...)`` call site."""
+
+    kind: str
+    line: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with lock-annotated writes and calls."""
+
+    name: str
+    lineno: int
+    node: ast.AST
+    writes: list[AttributeWrite] = field(default_factory=list)
+    self_calls: list[SelfCall] = field(default_factory=list)
+    acquires: list[LockAcquire] = field(default_factory=list)
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods, lock attributes and thread entry points."""
+
+    name: str
+    lineno: int
+    bases: tuple[str, ...]
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    lock_attrs: set[str] = field(default_factory=set)
+    rlock_attrs: set[str] = field(default_factory=set)
+    thread_targets: set[str] = field(default_factory=set)
+
+    @property
+    def is_thread_subclass(self) -> bool:
+        return any(b.split(".")[-1] == "Thread" for b in self.bases)
+
+    def entry_points(self) -> set[str]:
+        """Method names that run on a worker thread."""
+        entries = set(self.thread_targets)
+        if self.is_thread_subclass and "run" in self.methods:
+            entries.add("run")
+        return entries
+
+    def transitive_acquires(self, method: str) -> frozenset[str]:
+        """Locks a method may take, following intra-class calls to fixpoint."""
+        seen: set[str] = set()
+        acquired: set[str] = set()
+        stack = [method]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.methods.get(current)
+            if info is None:
+                continue
+            acquired.update(
+                a.lock for a in info.acquires if a.lock in self.lock_attrs
+            )
+            stack.extend(c.method for c in info.self_calls)
+        return frozenset(acquired)
+
+    def reachable_methods(self, roots: set[str]) -> set[str]:
+        """Methods reachable from ``roots`` through intra-class calls."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.methods.get(current)
+            if info is not None:
+                stack.extend(c.method for c in info.self_calls)
+        return seen
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and everything the rules need from it."""
+
+    name: str  # dotted module name, e.g. "repro.serve.shard"
+    path: Path
+    source: str
+    tree: ast.Module
+    rel_path: str  # path rendered in findings (repo-root relative)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    imports: list[tuple[str, int]] = field(default_factory=list)  # module-level
+    raises: list[RaiseSite] = field(default_factory=list)
+    metric_registrations: list[MetricRegistration] = field(default_factory=list)
+    event_emissions: list[EventEmission] = field(default_factory=list)
+    thread_creations: list[ThreadCreation] = field(default_factory=list)
+    join_calls: list[JoinCall] = field(default_factory=list)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    standalone_pragma_lines: dict[int, set[str]] = field(default_factory=dict)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        """True if ``rule`` is pragma-silenced on ``line`` (or just above)."""
+        for rules in (
+            self.suppressions.get(line),
+            self.standalone_pragma_lines.get(line - 1),
+        ):
+            if rules and (rule in rules or "*" in rules):
+                return True
+        return False
+
+
+@dataclass
+class Project:
+    """Every module of one package, parsed and indexed for the rules."""
+
+    package: str
+    src_root: Path  # directory containing the package directory
+    repo_root: Optional[Path]  # for README / scripts cross-references
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+
+    def module_names(self) -> list[str]:
+        return sorted(self.modules)
+
+    def iter_classes(self) -> Iterator[tuple[ModuleInfo, ClassInfo]]:
+        for module in self.modules.values():
+            for cls in module.classes.values():
+                yield module, cls
+
+
+def _scan_pragmas(module: ModuleInfo) -> None:
+    for lineno, text in enumerate(module.source.splitlines(), start=1):
+        match = PRAGMA_RE.search(text)
+        if not match:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        module.suppressions.setdefault(lineno, set()).update(rules)
+        if text.lstrip().startswith("#"):
+            module.standalone_pragma_lines.setdefault(lineno, set()).update(rules)
+
+
+def _is_lock_constructor(node: ast.AST) -> Optional[str]:
+    """Return "Lock"/"RLock" if ``node`` constructs a threading lock."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    leaf = name.split(".")[-1]
+    return leaf if leaf in _LOCK_CONSTRUCTORS else None
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Walk one method body tracking the lexical ``with self.X:`` stack."""
+
+    def __init__(self, info: FunctionInfo, cls: Optional[ClassInfo]):
+        self.info = info
+        self.cls = cls
+        self.held: list[str] = []
+
+    # -- lock context ------------------------------------------------- #
+    def visit_With(self, node: ast.With) -> None:
+        pushed = 0
+        for item in node.items:
+            target = dotted_name(item.context_expr)
+            if target is not None and target.startswith("self."):
+                attr = target.split(".", 1)[1]
+                if "." not in attr:  # only direct self.<attr> managers
+                    self.info.acquires.append(
+                        LockAcquire(
+                            lock=attr,
+                            line=item.context_expr.lineno,
+                            locks_held=frozenset(self.held),
+                        )
+                    )
+                    self.held.append(attr)
+                    pushed += 1
+        for child in node.body:
+            self.visit(child)
+        for _ in range(pushed):
+            self.held.pop()
+
+    # -- attribute writes --------------------------------------------- #
+    def _record_write(self, target: ast.AST, line: int, kind: str) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_write(element, line, kind)
+            return
+        if isinstance(target, ast.Subscript):
+            base = dotted_name(target.value)
+            if base is not None and base.startswith("self."):
+                attr = base.split(".", 1)[1].split(".")[0]
+                self.info.writes.append(
+                    AttributeWrite(attr, line, frozenset(self.held), "item")
+                )
+            return
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ):
+            if target.value.id == "self":
+                self.info.writes.append(
+                    AttributeWrite(target.attr, line, frozenset(self.held), kind)
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_write(target, node.lineno, "assign")
+        if self.cls is not None:
+            lock_kind = _is_lock_constructor(node.value)
+            if lock_kind is not None:
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        self.cls.lock_attrs.add(target.attr)
+                        if lock_kind == "RLock":
+                            self.cls.rlock_attrs.add(target.attr)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_write(node.target, node.lineno, "augassign")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_write(node.target, node.lineno, "assign")
+        self.generic_visit(node)
+
+    # -- calls --------------------------------------------------------- #
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None and name.startswith("self."):
+            attr = name.split(".", 1)[1]
+            if "." not in attr:
+                self.info.self_calls.append(
+                    SelfCall(attr, node.lineno, frozenset(self.held))
+                )
+        self.generic_visit(node)
+
+    # Nested defs run later (callbacks, thread targets): their bodies do
+    # not execute under the enclosing ``with``, so reset the held stack.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is self.info.node:
+            self.generic_visit(node)
+            return
+        saved, self.held = self.held, []
+        self.generic_visit(node)
+        self.held = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    """Extract module-wide facts: raises, metrics, events, threads, joins."""
+
+    _METRIC_METHODS = {"counter", "gauge", "histogram"}
+
+    def __init__(self, module: ModuleInfo):
+        self.module = module
+        self.function_stack: list[str] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.function_stack.append(node.name)
+        self.generic_visit(node)
+        self.function_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if node.exc is not None:
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            name = dotted_name(target)
+            if name is not None:
+                self.module.raises.append(
+                    RaiseSite(
+                        exc_name=name,
+                        line=node.lineno,
+                        function=(
+                            self.function_stack[-1] if self.function_stack else ""
+                        ),
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func_name = dotted_name(node.func)
+        leaf = func_name.split(".")[-1] if func_name else None
+
+        metric_kind: Optional[str] = None
+        if leaf in self._METRIC_METHODS and func_name != leaf:
+            metric_kind = leaf  # registry method call: reg.counter("...")
+        elif leaf is not None:
+            # Wrapper helpers named after the kind they register
+            # (``self._shadow_counter("serve_...", model)``) count as
+            # registration sites too -- the literal lives at the call.
+            for kind in self._METRIC_METHODS:
+                if leaf.endswith(f"_{kind}"):
+                    metric_kind = kind
+                    break
+        if (
+            metric_kind is not None
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            self.module.metric_registrations.append(
+                MetricRegistration(node.args[0].value, metric_kind, node.lineno)
+            )
+
+        if (
+            leaf in ("emit", "_emit")
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            self.module.event_emissions.append(
+                EventEmission(node.args[0].value, node.lineno)
+            )
+
+        if leaf == "Thread" and func_name in ("Thread", "threading.Thread"):
+            kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+            daemon: Optional[bool] = None
+            if "daemon" in kwargs and isinstance(kwargs["daemon"], ast.Constant):
+                daemon = bool(kwargs["daemon"].value)
+            target_method: Optional[str] = None
+            target = kwargs.get("target")
+            if target is not None:
+                target_name = dotted_name(target)
+                if target_name is not None and target_name.startswith("self."):
+                    tail = target_name.split(".", 1)[1]
+                    if "." not in tail:
+                        target_method = tail
+            self.module.thread_creations.append(
+                ThreadCreation(
+                    line=node.lineno,
+                    has_name="name" in kwargs,
+                    daemon=daemon,
+                    target_self_method=target_method,
+                )
+            )
+
+        if leaf == "join" and isinstance(node.func, ast.Attribute):
+            receiver = dotted_name(node.func.value) or "<expr>"
+            has_timeout = bool(node.args) or any(
+                kw.arg == "timeout" for kw in node.keywords
+            )
+            self.module.join_calls.append(
+                JoinCall(node.lineno, receiver, has_timeout)
+            )
+
+        self.generic_visit(node)
+
+
+def _scan_class(module: ModuleInfo, node: ast.ClassDef) -> None:
+    cls = ClassInfo(
+        name=node.name,
+        lineno=node.lineno,
+        bases=tuple(filter(None, (dotted_name(b) for b in node.bases))),
+    )
+    module.classes[node.name] = cls
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = FunctionInfo(name=item.name, lineno=item.lineno, node=item)
+            cls.methods[item.name] = info
+            _FunctionScanner(info, cls).visit(item)
+    # Thread entry points: target=self.<m> anywhere inside this class body.
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name is not None and name.split(".")[-1] == "Thread":
+                for kw in sub.keywords:
+                    if kw.arg == "target":
+                        target = dotted_name(kw.value)
+                        if target is not None and target.startswith("self."):
+                            tail = target.split(".", 1)[1]
+                            if "." not in tail:
+                                cls.thread_targets.add(tail)
+
+
+def _module_level_imports(module: ModuleInfo, package: str) -> None:
+    """Imports executed at import time (module/class body, not functions)."""
+
+    def is_type_checking_guard(test: ast.expr) -> bool:
+        # ``if TYPE_CHECKING:`` blocks never execute at import time; they
+        # are the sanctioned way to break a typing-only cycle.
+        return any(
+            (isinstance(n, ast.Name) and n.id == "TYPE_CHECKING")
+            or (isinstance(n, ast.Attribute) and n.attr == "TYPE_CHECKING")
+            for n in ast.walk(test)
+        )
+
+    def walk(body: list[ast.stmt]) -> Iterator[ast.stmt]:
+        for statement in body:
+            yield statement
+            if isinstance(statement, ast.If):
+                if not is_type_checking_guard(statement.test):
+                    yield from walk(statement.body)
+                yield from walk(statement.orelse)
+            elif isinstance(statement, ast.Try):
+                for block in (statement.body, statement.orelse, statement.finalbody):
+                    yield from walk(block)
+                for handler in statement.handlers:
+                    yield from walk(handler.body)
+            elif isinstance(statement, ast.ClassDef):
+                yield from walk(statement.body)
+
+    for statement in walk(module.tree.body):
+        if isinstance(statement, ast.Import):
+            for alias in statement.names:
+                if alias.name.split(".")[0] == package:
+                    module.imports.append((alias.name, statement.lineno))
+        elif isinstance(statement, ast.ImportFrom):
+            if statement.level > 0:
+                parts = module.name.split(".")
+                # level 1 from a package __init__ means "this package";
+                # from a plain module it means "the parent package".
+                anchor = (
+                    parts
+                    if module.path.name == "__init__.py"
+                    else parts[:-1]
+                )
+                cut = statement.level - 1
+                base_parts = anchor[: len(anchor) - cut] if cut else anchor
+                base = ".".join(base_parts)
+                target = f"{base}.{statement.module}" if statement.module else base
+            else:
+                target = statement.module or ""
+            if target.split(".")[0] == package:
+                module.imports.append((target, statement.lineno))
+                for alias in statement.names:
+                    submodule = f"{target}.{alias.name}"
+                    module.imports.append((submodule, statement.lineno))
+
+
+def load_project(
+    src_root: Path | str,
+    package: str = "repro",
+    repo_root: Path | str | None = None,
+    exclude: tuple[str, ...] = (),
+) -> Project:
+    """Parse every module of ``package`` under ``src_root``.
+
+    Parameters
+    ----------
+    src_root:
+        Directory *containing* the package directory (e.g. ``src/``).
+    package:
+        Top-level package name to load (default ``repro``).
+    repo_root:
+        Repository root for documentation cross-references (README,
+        ``scripts/``); finding paths are rendered relative to it when
+        given.  Defaults to ``src_root``'s parent when that looks like a
+        repo root, else ``src_root``.
+    exclude:
+        Dotted module names (exact or prefix + ``.``) to skip -- the
+        analysis package itself is never excluded by default; pass
+        ``("repro.analysis",)`` to self-exempt.
+    """
+    src_root = Path(src_root).resolve()
+    package_dir = src_root / package
+    if repo_root is None:
+        candidate = src_root.parent
+        repo_root = candidate if (candidate / "README.md").exists() else src_root
+    repo_root = Path(repo_root).resolve()
+
+    project = Project(package=package, src_root=src_root, repo_root=repo_root)
+
+    for path in sorted(package_dir.rglob("*.py")):
+        relative = path.relative_to(src_root)
+        parts = list(relative.parts)
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][: -len(".py")]
+        name = ".".join(parts)
+        if any(name == e or name.startswith(e + ".") for e in exclude):
+            continue
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:  # pragma: no cover - tree must parse
+            raise error
+        try:
+            rel_path = path.relative_to(repo_root).as_posix()
+        except ValueError:  # path outside repo_root (fixture projects)
+            rel_path = relative.as_posix()
+        module = ModuleInfo(
+            name=name, path=path, source=source, tree=tree, rel_path=rel_path
+        )
+        _scan_pragmas(module)
+        _module_level_imports(module, package)
+        _ModuleScanner(module).visit(tree)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                _scan_class(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(name=node.name, lineno=node.lineno, node=node)
+                _FunctionScanner(info, None).visit(node)
+        project.modules[name] = module
+    return project

@@ -1,0 +1,244 @@
+"""Concurrency rules: lock ordering, guarded shared state, thread hygiene.
+
+These encode the three concurrency contracts the serve stack has already
+paid to learn (the two-read ``hit_rate`` race, the leaked worker thread
+at ``stop()``, the drain-before-evict ordering):
+
+* **lock-order** -- within a class, the lock-acquisition graph built from
+  ``with self.<lock>:`` nesting plus intra-class call edges must be
+  acyclic, and a non-reentrant lock must never be (transitively)
+  re-acquired while held,
+* **unguarded-shared-state** -- an instance attribute a class mutates
+  under its lock in one place must not also be mutated bare from both a
+  thread entry point and a public method, and
+* **thread-hygiene** -- every ``threading.Thread`` is named and daemon,
+  and every ``join()`` passes a timeout (a worker wedged in C code
+  otherwise hangs shutdown forever -- the PR 7 lesson as a lint).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Rule
+from repro.analysis.loader import ClassInfo, ModuleInfo, Project
+
+
+class LockOrderRule(Rule):
+    """Cycles in a class's lock-acquisition graph are potential deadlocks."""
+
+    name = "lock-order"
+    description = (
+        "per-class lock-acquisition graph (with-nesting + intra-class "
+        "calls) must be acyclic; non-reentrant locks must not be "
+        "re-acquired while held"
+    )
+    hazard = "two threads taking the same locks in opposite orders deadlock"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module, cls in project.iter_classes():
+            if not cls.lock_attrs:
+                continue
+            yield from self._check_class(module, cls)
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ClassInfo
+    ) -> Iterator[Finding]:
+        # Edge held -> acquired, annotated with one witness line.
+        edges: dict[tuple[str, str], int] = {}
+        for method in cls.methods.values():
+            for acquire in method.acquires:
+                if acquire.lock not in cls.lock_attrs:
+                    continue
+                for held in acquire.locks_held:
+                    if held in cls.lock_attrs:
+                        edges.setdefault((held, acquire.lock), acquire.line)
+            for call in method.self_calls:
+                if not call.locks_held:
+                    continue
+                for acquired in cls.transitive_acquires(call.method):
+                    for held in call.locks_held:
+                        if held in cls.lock_attrs:
+                            edges.setdefault((held, acquired), call.line)
+
+        # Self-edges: re-acquiring a non-reentrant lock while held is an
+        # immediate deadlock, not just a potential one.
+        for (held, acquired), line in sorted(edges.items(), key=lambda e: e[1]):
+            if held == acquired and held not in cls.rlock_attrs:
+                yield self.finding(
+                    module.rel_path,
+                    line,
+                    f"{cls.name}: non-reentrant lock self.{held} may be "
+                    "re-acquired while already held (direct nesting or via "
+                    "an intra-class call) -- immediate deadlock",
+                )
+
+        # Cycles of length >= 2 among distinct locks.
+        graph: dict[str, set[str]] = {}
+        for (held, acquired) in edges:
+            if held != acquired:
+                graph.setdefault(held, set()).add(acquired)
+        for cycle in _find_cycles(graph):
+            witness = min(
+                edges[(a, b)]
+                for a, b in zip(cycle, cycle[1:] + cycle[:1])
+                if (a, b) in edges
+            )
+            path = " -> ".join(f"self.{lock}" for lock in cycle + [cycle[0]])
+            yield self.finding(
+                module.rel_path,
+                witness,
+                f"{cls.name}: lock-order cycle {path} -- concurrent callers "
+                "entering at different points can deadlock",
+            )
+
+
+def _find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Elementary cycles, each reported once (rotated to its min node)."""
+    cycles: set[tuple[str, ...]] = set()
+
+    def walk(start: str, node: str, path: list[str], seen: set[str]) -> None:
+        for successor in sorted(graph.get(node, ())):
+            if successor == start:
+                rotation = path.index(min(path))
+                cycles.add(tuple(path[rotation:] + path[:rotation]))
+            elif successor not in seen and successor > start:
+                # Only explore nodes >= start so each cycle is found from
+                # its smallest member exactly once.
+                walk(start, successor, path + [successor], seen | {successor})
+
+    for start in sorted(graph):
+        walk(start, start, [start], {start})
+    return [list(c) for c in sorted(cycles)]
+
+
+class UnguardedSharedStateRule(Rule):
+    """Lock-guarded attributes must not also be mutated bare cross-thread."""
+
+    name = "unguarded-shared-state"
+    description = (
+        "an attribute a threaded class writes under its lock must not "
+        "also be written without it from both the thread side and the "
+        "public surface"
+    )
+    hazard = "torn/stale reads and lost updates between worker and callers"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module, cls in project.iter_classes():
+            if not cls.lock_attrs:
+                continue
+            entry_points = cls.entry_points()
+            if not entry_points:
+                continue
+            yield from self._check_class(module, cls, entry_points)
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ClassInfo, entry_points: set[str]
+    ) -> Iterator[Finding]:
+        thread_side = cls.reachable_methods(entry_points)
+        # Attributes the class itself treats as lock-guarded somewhere.
+        guarded: set[str] = set()
+        for method in cls.methods.values():
+            if method.name == "__init__":
+                continue
+            for write in method.writes:
+                if write.locks_held & cls.lock_attrs:
+                    guarded.add(write.attr)
+        if not guarded:
+            return
+
+        # Bare writes to guarded attrs, split by which side performs them.
+        bare: dict[str, dict[str, tuple[str, int]]] = {}  # attr -> side -> loc
+        for method in cls.methods.values():
+            if method.name == "__init__":
+                continue  # construction happens-before thread start
+            side = "thread" if method.name in thread_side else (
+                "public" if method.is_public else None
+            )
+            if side is None:
+                continue
+            for write in method.writes:
+                if write.attr not in guarded:
+                    continue
+                if write.locks_held & cls.lock_attrs:
+                    continue
+                bare.setdefault(write.attr, {}).setdefault(
+                    side, (method.name, write.line)
+                )
+
+        for attr in sorted(bare):
+            sides = bare[attr]
+            # Dangerous when the attribute is written bare on the thread
+            # side while also being written (bare or locked) publicly, or
+            # vice versa; require a bare write on at least one side and
+            # any write on the other to keep precision high.
+            written_publicly = "public" in sides or any(
+                w.attr == attr
+                for m in cls.methods.values()
+                if m.is_public and m.name not in thread_side
+                for w in m.writes
+            )
+            written_on_thread = "thread" in sides or any(
+                w.attr == attr
+                for name in thread_side
+                if (m := cls.methods.get(name)) is not None
+                for w in m.writes
+            )
+            if not (written_publicly and written_on_thread):
+                continue
+            side = "thread" if "thread" in sides else "public"
+            method_name, line = sides[side]
+            lock_names = ", ".join(
+                f"self.{lock}" for lock in sorted(cls.lock_attrs)
+            )
+            yield self.finding(
+                module.rel_path,
+                line,
+                f"{cls.name}.{attr} is written elsewhere under a lock but "
+                f"mutated bare in {method_name}() on the {side} side "
+                f"(owning lock candidates: {lock_names})",
+            )
+
+
+class ThreadHygieneRule(Rule):
+    """Threads must be named daemons; joins must carry a timeout."""
+
+    name = "thread-hygiene"
+    description = (
+        "threading.Thread(...) must pass name= and daemon=True; "
+        ".join() must pass a timeout"
+    )
+    hazard = (
+        "anonymous non-daemon threads and unbounded joins turn one wedged "
+        "worker into a hung interpreter at shutdown"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules.values():
+            for creation in module.thread_creations:
+                if not creation.has_name:
+                    yield self.finding(
+                        module.rel_path,
+                        creation.line,
+                        "threading.Thread(...) without name= -- unnamed "
+                        "threads make leak reports and stack dumps unreadable",
+                    )
+                if creation.daemon is not True:
+                    detail = (
+                        "daemon=False" if creation.daemon is False else "no daemon="
+                    )
+                    yield self.finding(
+                        module.rel_path,
+                        creation.line,
+                        f"threading.Thread(...) with {detail} -- a wedged "
+                        "non-daemon worker blocks interpreter exit",
+                    )
+            for join in module.join_calls:
+                if not join.has_timeout:
+                    yield self.finding(
+                        module.rel_path,
+                        join.line,
+                        f"{join.receiver}.join() without a timeout -- a "
+                        "wedged thread hangs the caller forever; join with a "
+                        "timeout and check is_alive()",
+                    )

@@ -1,0 +1,134 @@
+"""Determinism rule: no ambient randomness, no wall clocks in hot paths.
+
+The resilience and rollout layers promise *seed-replayable* behaviour:
+the Kth fault fired at a site and the Kth canary routing decision are
+pure functions of (seed, site/name, K).  One call into the process-global
+RNG (``random.random()``, ``np.random.rand()``) or one wall-clock read
+(``time.time()``) on a serve/obs code path silently breaks that replay
+contract, so this rule bans the ambient sources outright:
+
+* global-RNG calls (``random.*`` / ``np.random.*`` module functions) are
+  flagged everywhere in the tree -- seeded generator objects
+  (``random.Random(seed)``, ``np.random.default_rng(seed)``) are the
+  sanctioned alternative and are not flagged,
+* wall-clock reads (``time.time()``, ``datetime.now()`` and friends) are
+  flagged in modules under a ``serve`` or ``obs`` package, where
+  ``time.monotonic`` / ``time.perf_counter`` or an injected ``clock``
+  callable is required (wall time may only appear behind an explicit
+  pragma, e.g. an exporter stamping human-readable timestamps).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import ast
+
+from repro.analysis.framework import Finding, Rule
+from repro.analysis.loader import Project, dotted_name
+
+#: Functions of the process-global ``random`` module RNG.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: Functions of the legacy process-global numpy RNG.
+GLOBAL_NP_RANDOM_FUNCS = frozenset(
+    {
+        "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+        "exponential", "gamma", "geometric", "gumbel", "hypergeometric",
+        "laplace", "logistic", "lognormal", "multinomial",
+        "multivariate_normal", "negative_binomial", "normal", "pareto",
+        "permutation", "poisson", "power", "rand", "randint", "randn",
+        "random", "random_integers", "random_sample", "rayleigh", "seed",
+        "shuffle", "standard_cauchy", "standard_exponential",
+        "standard_gamma", "standard_normal", "standard_t", "triangular",
+        "uniform", "vonmises", "wald", "weibull", "zipf",
+    }
+)
+
+#: Dotted call names that read the wall clock.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: Package path components in which wall-clock reads are banned.
+CLOCK_SCOPED_PARTS = ("serve", "obs")
+
+
+class DeterminismRule(Rule):
+    """Ban ambient RNG everywhere and wall clocks on serve/obs paths."""
+
+    name = "determinism"
+    description = (
+        "no process-global random.* / np.random.* calls; no "
+        "time.time()/datetime.now() in serve/obs modules (use "
+        "monotonic or an injected clock)"
+    )
+    hazard = (
+        "seed-replayable fault injection and canary routing silently stop "
+        "replaying; latency math jumps when the wall clock steps"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules.values():
+            parts = module.name.split(".")
+            clock_scoped = any(part in CLOCK_SCOPED_PARTS for part in parts)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                yield from self._check_call(module, node, name, clock_scoped)
+
+    def _check_call(
+        self, module, node: ast.Call, name: str, clock_scoped: bool
+    ) -> Iterator[Finding]:
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] == "random":
+            if parts[1] in GLOBAL_RANDOM_FUNCS:
+                yield self.finding(
+                    module.rel_path,
+                    node.lineno,
+                    f"call to process-global RNG {name}() -- use a seeded "
+                    "random.Random(seed) instance so behaviour replays",
+                )
+            return
+        if (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] in GLOBAL_NP_RANDOM_FUNCS
+        ):
+            yield self.finding(
+                module.rel_path,
+                node.lineno,
+                f"call to process-global RNG {name}() -- use a seeded "
+                "np.random.default_rng(seed) Generator so behaviour replays",
+            )
+            return
+        if clock_scoped and name in WALL_CLOCK_CALLS:
+            yield self.finding(
+                module.rel_path,
+                node.lineno,
+                f"wall-clock read {name}() in a serve/obs module -- use "
+                "time.monotonic()/perf_counter() or the injected clock "
+                "(wall time steps under NTP and breaks latency math)",
+            )

@@ -1,0 +1,318 @@
+"""Structural rules: error taxonomy, exact export surfaces, import cycles.
+
+* **error-taxonomy** -- every exception the library raises on purpose
+  derives from the :mod:`repro.errors` hierarchy, so API consumers can
+  catch ``ReproError`` at a boundary and never be surprised by a bare
+  ``ValueError`` escaping the serve path.  Protocol exceptions Python
+  itself demands (``NotImplementedError``, ``AttributeError`` inside
+  ``__getattr__``, ``StopIteration`` inside ``__next__``) are exempt.
+* **export-surface** -- ``__all__`` lists are exact: every listed name is
+  actually bound (directly, or via a module-level ``*_EXPORTS`` lazy
+  table consumed by ``__getattr__``), and -- in package ``__init__``
+  modules, whose whole job is re-export -- every public ``from ... import``
+  binding, def and assignment appears in ``__all__``.
+* **import-cycle** -- the module-level import graph among ``repro.*``
+  modules is acyclic.  The lazy re-export shims in ``repro/__init__.py``
+  make cycles easy to introduce silently: they work or break depending on
+  which module happens to be imported first.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Rule
+from repro.analysis.loader import ModuleInfo, Project
+
+#: Names of every builtin exception class.
+BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+#: Builtin exceptions that are part of Python protocols, allowed anywhere
+#: or inside the dunder that defines the protocol.
+_PROTOCOL_EXEMPT = {
+    "NotImplementedError": None,  # abstract-method convention, any context
+    "AttributeError": ("__getattr__", "__getattribute__", "__setattr__",
+                       "__delattr__", "__dir__"),
+    "StopIteration": ("__next__",),
+    "StopAsyncIteration": ("__anext__",),
+    "IndexError": ("__getitem__", "__setitem__", "__delitem__"),
+    "KeyError": ("__getitem__", "__setitem__", "__delitem__"),
+}
+
+
+class ErrorTaxonomyRule(Rule):
+    """Intentional raises must come from the ``repro.errors`` hierarchy."""
+
+    name = "error-taxonomy"
+    description = (
+        "raise statements must use exceptions deriving from ReproError; "
+        "builtin exceptions only where a Python protocol demands them"
+    )
+    hazard = (
+        "a bare ValueError/KeyError escaping an API boundary bypasses "
+        "every except ReproError handler downstream"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules.values():
+            for site in module.raises:
+                leaf = site.exc_name.split(".")[-1]
+                if leaf not in BUILTIN_EXCEPTIONS:
+                    # Project/imported exception classes or re-raised bound
+                    # names -- resolving those is the type checker's job.
+                    continue
+                exempt_contexts = _PROTOCOL_EXEMPT.get(leaf, ())
+                if exempt_contexts is None:
+                    continue
+                if site.function in exempt_contexts:
+                    continue
+                yield self.finding(
+                    module.rel_path,
+                    site.line,
+                    f"raises builtin {leaf} -- raise a subclass of "
+                    "repro.errors.ReproError (e.g. ConfigurationError / "
+                    "DataError) so API consumers can catch the hierarchy",
+                )
+
+
+def _module_bindings(
+    tree: ast.Module, package: str
+) -> tuple[set[str], dict[str, int], set[str]]:
+    """(all bound names, re-export-style publics with lines, lazy keys).
+
+    The re-export set holds names a package ``__init__`` presents as API:
+    ``from ... import`` bindings originating *inside* the project package
+    plus local defs/classes/assignments.  Imports from elsewhere (typing,
+    stdlib, third-party) are plumbing, not API, and are exempt from the
+    "missing from __all__" direction.
+    """
+    bound: set[str] = set()
+    reexports: dict[str, int] = {}
+    lazy_keys: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            in_package = node.level > 0 or (
+                node.module is not None
+                and node.module.split(".")[0] == package
+            )
+            for alias in node.names:
+                binding = alias.asname or alias.name
+                if binding == "*":
+                    continue
+                bound.add(binding)
+                if in_package:
+                    reexports.setdefault(binding, node.lineno)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(node.name)
+            reexports.setdefault(node.name, node.lineno)
+        elif isinstance(node, ast.ClassDef):
+            bound.add(node.name)
+            reexports.setdefault(node.name, node.lineno)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+                    reexports.setdefault(target.id, node.lineno)
+                    value = node.value
+                    if target.id.endswith("_EXPORTS") and isinstance(
+                        value, ast.Dict
+                    ):
+                        for key in value.keys:
+                            if isinstance(key, ast.Constant) and isinstance(
+                                key.value, str
+                            ):
+                                lazy_keys.add(key.value)
+    return bound, reexports, lazy_keys
+
+
+def _declared_all(tree: ast.Module) -> tuple[list[str], int] | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        names = [
+                            e.value
+                            for e in node.value.elts
+                            if isinstance(e, ast.Constant)
+                            and isinstance(e.value, str)
+                        ]
+                        return names, node.lineno
+    return None
+
+
+class ExportSurfaceRule(Rule):
+    """``__all__`` is exact: no phantom entries, no unexported publics."""
+
+    name = "export-surface"
+    description = (
+        "__all__ entries must resolve to real bindings (or lazy-export "
+        "keys); package __init__ public bindings must appear in __all__"
+    )
+    hazard = (
+        "a phantom __all__ entry breaks `from pkg import *` and tab "
+        "completion; an unlisted public name is an accidental API"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules.values():
+            declared = _declared_all(module.tree)
+            if declared is None:
+                continue
+            names, line = declared
+            bound, reexports, lazy_keys = _module_bindings(
+                module.tree, project.package
+            )
+            resolvable = bound | lazy_keys | {"__version__", "__doc__"}
+            for name in names:
+                if name not in resolvable:
+                    yield self.finding(
+                        module.rel_path,
+                        line,
+                        f"__all__ lists {name!r} but the module binds no "
+                        "such name (and no lazy-export table provides it)",
+                    )
+            duplicates = {n for n in names if names.count(n) > 1}
+            for name in sorted(duplicates):
+                yield self.finding(
+                    module.rel_path,
+                    line,
+                    f"__all__ lists {name!r} more than once",
+                )
+            if module.path.name == "__init__.py":
+                listed = set(names)
+                for name in sorted(reexports):
+                    if name.startswith("_") or name in listed:
+                        continue
+                    yield self.finding(
+                        module.rel_path,
+                        reexports[name],
+                        f"public binding {name!r} in a package __init__ is "
+                        "missing from __all__ -- export it or prefix it "
+                        "with an underscore",
+                    )
+
+
+class ImportCycleRule(Rule):
+    """The module-level import graph among project modules is acyclic."""
+
+    name = "import-cycle"
+    description = (
+        "no circular imports among repro.* modules (module/class level; "
+        "function-local imports are lazy and exempt)"
+    )
+    hazard = (
+        "cycles import cleanly or explode depending on entry order -- the "
+        "lazy shims in repro/__init__ make them land silently"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph: dict[str, set[str]] = {name: set() for name in project.modules}
+        witness: dict[tuple[str, str], int] = {}
+        for name, module in project.modules.items():
+            for target, line in module.imports:
+                resolved = self._resolve(project, target)
+                if resolved is not None and resolved != name:
+                    graph[name].add(resolved)
+                    witness.setdefault((name, resolved), line)
+
+        for component in self._cycles(graph):
+            members = set(component)
+            lines = [
+                witness[(a, b)]
+                for (a, b) in witness
+                if a in members and b in members
+            ]
+            first = component[0]
+            module = project.modules[first]
+            rendered = ", ".join(component)
+            yield self.finding(
+                module.rel_path,
+                min(lines) if lines else 1,
+                f"circular imports among: {rendered} -- whether this "
+                "explodes depends on which module is imported first; break "
+                "the cycle (move an import into a function or behind "
+                "TYPE_CHECKING)",
+            )
+
+    @staticmethod
+    def _resolve(project: Project, target: str) -> str | None:
+        """Map an imported dotted name onto a project module, if any."""
+        while target:
+            if target in project.modules:
+                return target
+            if "." not in target:
+                return None
+            target = target.rsplit(".", 1)[0]
+        return None
+
+    @staticmethod
+    def _cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+        """Strongly connected components of size > 1, as rotated cycles."""
+        index_counter = [0]
+        stack: list[str] = []
+        lowlink: dict[str, int] = {}
+        index: dict[str, int] = {}
+        on_stack: set[str] = set()
+        components: list[list[str]] = []
+
+        def connect(node: str) -> None:
+            worklist: list[tuple[str, Iterator[str]]] = [
+                (node, iter(sorted(graph.get(node, ()))))
+            ]
+            index[node] = lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            while worklist:
+                current, successors = worklist[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in index:
+                        index[successor] = lowlink[successor] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        worklist.append(
+                            (successor, iter(sorted(graph.get(successor, ()))))
+                        )
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlink[current] = min(
+                            lowlink[current], index[successor]
+                        )
+                if advanced:
+                    continue
+                worklist.pop()
+                if worklist:
+                    parent = worklist[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[current])
+                if lowlink[current] == index[current]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == current:
+                            break
+                    if len(component) > 1:
+                        components.append(sorted(component))
+
+        for node in sorted(graph):
+            if node not in index:
+                connect(node)
+        return components

@@ -55,6 +55,9 @@ from repro.core.backends.packed import (
     unpack_words_to_bits,
     words_per_vector,
 )
+# ConfigurationError is consumed internally by resolve_backend, not
+# re-exported API: callers import it from repro.errors directly.
+# repro: allow[export-surface]
 from repro.errors import ConfigurationError
 
 #: Environment variable consulted when no backend is specified explicitly.

@@ -115,7 +115,7 @@ class Table1Result:
         for row in self.rows:
             if row.iterations == iterations:
                 return row
-        raise KeyError(f"no Table I row for {iterations} iterations")
+        raise ConfigurationError(f"no Table I row for {iterations} iterations")
 
 
 def _fit_and_score(

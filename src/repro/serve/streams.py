@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 
 from repro._rng import SeedLike, as_generator
-from repro.errors import ConfigurationError, ServiceOverloadedError
+from repro.errors import ConfigurationError, ServiceError, ServiceOverloadedError
 from repro.serve.request import ClassificationResponse
 from repro.serve.service import StreamingInferenceService
 
@@ -182,14 +182,30 @@ def drive_streams(
 
     threads = [
         threading.Thread(
-            target=run, args=(stream, report), name=f"stream-{stream.stream_id}"
+            target=run,
+            args=(stream, report),
+            name=f"stream-{stream.stream_id}",
+            daemon=True,
         )
         for stream, report in zip(streams, reports)
     ]
     for thread in threads:
         thread.start()
+    # Every per-frame wait inside run() is itself bounded (submit retries
+    # and result() both carry timeouts), so a stream thread that outlives
+    # this generous budget is wedged -- report it instead of hanging the
+    # driver; daemon threads cannot block interpreter exit.
+    join_timeout = max(4.0 * timeout, 120.0)
+    wedged = []
     for thread in threads:
-        thread.join()
+        thread.join(join_timeout)
+        if thread.is_alive():
+            wedged.append(thread.name)
+    if wedged:
+        raise ServiceError(
+            f"stream driver threads wedged past {join_timeout:.0f}s: "
+            + ", ".join(wedged)
+        )
     if errors:
         raise errors[0]
     return reports

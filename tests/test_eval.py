@@ -162,7 +162,7 @@ class TestExperimentRunners:
             assert 0.0 <= row.bsom_mean <= 1.0
             assert 0.0 <= row.csom_mean <= 1.0
         assert result.row(5).iterations == 5
-        with pytest.raises(KeyError):
+        with pytest.raises(ConfigurationError):
             result.row(99)
 
     def test_run_table2_symbols(self, toy_dataset):
