@@ -35,10 +35,17 @@ The restart is visible in the telemetry (``shard restarts`` line, the
 ``shard_restart`` event) and in ``--metrics-out`` as the
 ``serve_shard_restarts_total`` counter.
 
+With ``--load <spec>`` steps 3-4 are replaced by the open-loop load
+harness (:mod:`repro.loadgen`): the named built-in workload -- ``demo``
+is a warmup then a saturating burst train with one mid-load hot-swap --
+is replayed against the service on a small submit pool, per-phase metric
+snapshots are windowed into deltas, and the loadgen report (throughput,
+windowed p50/p99/p999, batch fill, shed rate, churn) is printed.
+
 Run with::
 
     python examples/streaming_service.py [--streams 6] [--frames 200] \
-        [--metrics-out metrics.jsonl] [--inject-faults]
+        [--metrics-out metrics.jsonl] [--inject-faults] [--load demo]
 """
 
 from __future__ import annotations
@@ -241,12 +248,37 @@ def _canary_cycle(service, dataset, n_streams, frames_per_stream):
     return manager
 
 
+def _load_harness(service, dataset, spec_name, exporter):
+    """Replay a built-in loadgen spec against the live service."""
+    from repro.loadgen import aggregate_run, built_in_specs, render_report, run_workload
+
+    spec = built_in_specs()[spec_name]
+    print(f"\n=== 3. Load harness: spec {spec.name!r} "
+          f"({len(spec.phases)} phases, {spec.n_streams} simulated streams, "
+          f"seed {spec.seed}) ===")
+    # The mid-load hot-swap target: the same recipe trained longer.
+    improved = api.train(
+        dataset.train_signatures, dataset.train_labels,
+        n_neurons=40, epochs=30, seed=2010,
+    )
+    run = run_workload(
+        service,
+        spec,
+        dataset.test_signatures,
+        model="hall",
+        swap_source=lambda: api.snapshot(improved),
+        exporter=exporter,
+    )
+    print(render_report(aggregate_run(run)))
+
+
 def main(
     n_streams: int = 6,
     frames_per_stream: int = 200,
     metrics_out: str | None = None,
     inject_faults: bool = False,
     canary: bool = False,
+    load: str | None = None,
 ) -> None:
     print("=== 1. Off-line training and snapshot ===")
     dataset = make_surveillance_dataset(scale=0.1, seed=2010)
@@ -290,7 +322,9 @@ def main(
     )
 
     with service:
-        if inject_faults:
+        if load:
+            _load_harness(service, dataset, load, exporter)
+        elif inject_faults:
             print(f"\n=== 3. {n_streams} camera streams under an injected "
                   f"shard death ===")
             _drive_through_fault(
@@ -301,10 +335,13 @@ def main(
             print(f"\n=== 3. {n_streams} concurrent camera streams ===")
             _drive(service, dataset, n_streams, frames_per_stream, seed0=100)
 
-        if exporter is not None:
+        if exporter is not None and not load:
+            # (the load harness exports its own per-phase snapshots)
             exporter.export(service.obs.registry, events=service.obs.events)
 
-        if canary:
+        if load:
+            pass  # the harness already drove its hot-swap mid-load
+        elif canary:
             _canary_cycle(service, dataset, n_streams, frames_per_stream)
         else:
             print("\n=== 4. Hot-swap to a longer-trained map (zero-drop reflash) ===")
@@ -378,6 +415,15 @@ if __name__ == "__main__":
         "shadow -> canary -> promote, a forced regression auto-demoted, "
         "then a rollback from the ring",
     )
+    parser.add_argument(
+        "--load",
+        default=None,
+        choices=("demo", "smoke"),
+        metavar="SPEC",
+        help="replace the stream drive with the open-loop load harness "
+        "running this built-in WorkloadSpec (demo: warmup + saturating "
+        "burst with one mid-load hot-swap) and print the loadgen report",
+    )
     arguments = parser.parse_args()
     main(
         n_streams=arguments.streams,
@@ -385,4 +431,5 @@ if __name__ == "__main__":
         metrics_out=arguments.metrics_out,
         inject_faults=arguments.inject_faults,
         canary=arguments.canary,
+        load=arguments.load,
     )

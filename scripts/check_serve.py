@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI gate: serve-layer load harness + ``BENCH_serve.json`` regression guard.
+
+Run by ``scripts/ci_check.sh`` after the rollout gate.  Replays the
+committed three-phase benchmark workload (steady -> saturating burst ->
+soak with hot-swaps, a victim eviction and rollout promote/demote cycles
+mid-load) through ``repro.loadgen`` against a live service, then
+enforces:
+
+1. *Zero-drop at saturation* -- every submitted future goes terminal
+   (answered, shed or failed); an unresolved future is an immediate
+   failure.  This is the ``check_lifecycle.py`` contract held under
+   open-loop overload plus lifecycle churn.
+2. *Exhaustive accounting* -- per phase, ``answered + shed + failed +
+   unresolved == offered`` with zero unexpected failures, and the soak
+   phase performed every scheduled lifecycle action.
+3. *Regression bounds* -- saturation (burst-phase) throughput must stay
+   above ``baseline / 3`` and the steady-phase windowed p99 latency
+   below ``baseline * 3`` (plus a small absolute grace), both against
+   the committed ``BENCH_serve.json``.  Load timing is noisier than the
+   kernel/vision guards, hence the wider slack; the contracts in (1) and
+   (2) are exact.
+
+A plain test run never rewrites the baseline once it exists; regenerate
+deliberately after serve/loadgen changes with
+``REPRO_WRITE_BENCH=1 pytest benchmarks/test_serve_load.py``.
+
+Exit code 0 on success, 1 on any failure.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Pin thread pools before numpy import, mirroring benchmarks/conftest.py,
+# so the guard measures the same single-threaded regime as the baseline.
+for _var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import test_serve_load as bench  # noqa: E402
+
+THROUGHPUT_FLOOR_FACTOR = 3.0
+LATENCY_CEILING_FACTOR = 3.0
+LATENCY_GRACE_MS = 2.0
+
+
+def fail(message: str) -> None:
+    raise SystemExit(f"check_serve: FAIL -- {message}")
+
+
+def main() -> None:
+    if not bench.BENCH_PATH.exists():
+        fail(
+            f"{bench.BENCH_PATH} missing; regenerate with "
+            "REPRO_WRITE_BENCH=1 pytest benchmarks/test_serve_load.py"
+        )
+    committed = json.loads(bench.BENCH_PATH.read_text())
+    baseline = committed.get("baseline") or {}
+    for key in (
+        "saturation_throughput_rps",
+        "steady_p99_ms",
+        "steady_throughput_rps",
+    ):
+        if key not in baseline:
+            fail(f"BENCH_serve.json baseline block lacks {key!r}")
+
+    run, aggregate = bench.run_bench()
+
+    # 1. Zero-drop at saturation.
+    if not run.zero_drop:
+        fail(f"{run.unresolved} futures never resolved (zero-drop violated)")
+    print("check_serve: zero-drop contract held across all phases")
+
+    # 2. Exhaustive accounting + lifecycle churn performed.
+    for phase in run.phases:
+        total = phase.answered + phase.shed + phase.failed + phase.unresolved
+        if total != phase.offered:
+            fail(
+                f"phase {phase.name!r}: accounting leak "
+                f"({total} terminal vs {phase.offered} offered)"
+            )
+        if phase.failed:
+            fail(f"phase {phase.name!r}: {phase.failed} unexpected failures")
+    soak = run.phases[-1]
+    if (
+        soak.swaps != bench.SOAK_SWAPS
+        or soak.evictions != bench.SOAK_EVICTIONS
+        or soak.rollouts != bench.SOAK_ROLLOUTS
+    ):
+        fail(
+            f"soak churn incomplete: swaps={soak.swaps}/{bench.SOAK_SWAPS} "
+            f"evictions={soak.evictions}/{bench.SOAK_EVICTIONS} "
+            f"rollouts={soak.rollouts}/{bench.SOAK_ROLLOUTS}"
+        )
+    print(
+        f"check_serve: soak churn complete ({soak.swaps} swaps, "
+        f"{soak.evictions} evictions, {soak.rollouts} rollout cycles "
+        "mid-load)"
+    )
+
+    # 3. Regression bounds against the committed baseline.
+    burst = next(p for p in aggregate["phases"] if p["phase"] == "burst")
+    steady = next(p for p in aggregate["phases"] if p["phase"] == "steady")
+    floor = baseline["saturation_throughput_rps"] / THROUGHPUT_FLOOR_FACTOR
+    if burst["throughput_rps"] < floor:
+        fail(
+            f"saturation throughput {burst['throughput_rps']:.0f} rps fell "
+            f"below {floor:.0f} rps "
+            f"(baseline {baseline['saturation_throughput_rps']:.0f} / "
+            f"{THROUGHPUT_FLOOR_FACTOR:g})"
+        )
+    ceiling = (
+        baseline["steady_p99_ms"] * LATENCY_CEILING_FACTOR + LATENCY_GRACE_MS
+    )
+    measured_p99 = steady["latency_ms"]["p99"]
+    if measured_p99 > ceiling:
+        fail(
+            f"steady p99 {measured_p99:.2f} ms exceeded {ceiling:.2f} ms "
+            f"(baseline {baseline['steady_p99_ms']:.2f} ms * "
+            f"{LATENCY_CEILING_FACTOR:g} + {LATENCY_GRACE_MS:g})"
+        )
+    print(
+        f"check_serve: saturation {burst['throughput_rps']:.0f} rps "
+        f"(floor {floor:.0f}), steady p99 {measured_p99:.2f} ms "
+        f"(ceiling {ceiling:.2f})"
+    )
+    print("check_serve: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -79,6 +79,16 @@ echo "=== rollouts: guarded model updates under load (seed 11) ==="
 python scripts/check_rollout.py --seed 11
 
 echo
+echo "=== load harness: BENCH_serve.json guard (zero drops at saturation) ==="
+# Replays the committed seeded workload (steady -> saturating burst ->
+# soak with hot-swaps, a victim eviction and rollout promote/demote
+# cycles mid-load) through repro.loadgen: every future terminal (the
+# zero-drop contract held at saturation), exhaustive per-phase
+# accounting, all lifecycle churn performed, and saturation throughput /
+# steady p99 within bounds of the committed BENCH_serve.json baseline.
+python scripts/check_serve.py
+
+echo
 echo "=== smoke: streaming service demo (4 cameras, 40 frames each) ==="
 python examples/streaming_service.py --streams 4 --frames 40
 

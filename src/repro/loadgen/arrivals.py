@@ -1,0 +1,257 @@
+"""Seeded arrival processes and the Zipf hot-key sampler.
+
+The load harness is *open loop*: a phase's submit schedule is drawn up
+front as an array of offsets from phase start, then replayed against the
+service regardless of how fast responses come back.  Every process here
+is a pure function of the :class:`numpy.random.Generator` it is handed --
+same generator state, bit-identical schedule -- so a committed benchmark
+spec replays exactly and CI failures are diffable.  No process touches
+process-global RNG state (`repro.analysis` bans it repo-wide).
+
+Rates are events per second; offsets are float seconds in
+``[0, duration_s)``, sorted ascending.
+
+:class:`ZipfKeySampler` skews which pool signatures the schedule submits
+(rank-frequency ``1/rank**s``), which is what exercises the serve layer's
+in-flight dedup and LRU-cache paths under load: a handful of hot keys
+dominate while the long tail forces evictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.errors import ConfigurationError
+
+
+def _check_duration(duration_s: float) -> float:
+    if not duration_s > 0:
+        raise ConfigurationError(
+            f"phase duration must be positive seconds, got {duration_s!r}"
+        )
+    return float(duration_s)
+
+
+def _check_rate(rate_hz: float, what: str = "rate_hz") -> float:
+    if not rate_hz >= 0:
+        raise ConfigurationError(f"{what} must be >= 0 events/s, got {rate_hz!r}")
+    return float(rate_hz)
+
+
+def _poisson_times(
+    rate_hz: float, duration_s: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Homogeneous Poisson arrivals: exponential gaps, cumulative sum."""
+    if rate_hz <= 0 or duration_s <= 0:
+        return np.empty(0, dtype=np.float64)
+    chunk = max(int(rate_hz * duration_s * 1.5) + 16, 16)
+    times = np.cumsum(rng.exponential(1.0 / rate_hz, size=chunk))
+    while times[-1] < duration_s:
+        extra = np.cumsum(rng.exponential(1.0 / rate_hz, size=chunk)) + times[-1]
+        times = np.concatenate([times, extra])
+    return times[times < duration_s]
+
+
+class ArrivalProcess:
+    """A seeded recipe for one phase's submit offsets.
+
+    Subclasses implement :meth:`times`: given a duration and a
+    generator, return sorted offsets (seconds from phase start) in
+    ``[0, duration_s)``.  Determinism contract: equal generator state in,
+    bit-identical offsets out.  :meth:`mean_rate_hz` is the expected
+    long-run rate, used for reporting only.
+    """
+
+    def times(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def mean_rate_hz(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantRate(ArrivalProcess):
+    """Evenly spaced arrivals at ``rate_hz`` -- the warmup/steady floor."""
+
+    rate_hz: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate_hz)
+
+    def times(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+        duration_s = _check_duration(duration_s)
+        n = int(self.rate_hz * duration_s)
+        return np.arange(n, dtype=np.float64) / self.rate_hz if n else np.empty(0)
+
+    def mean_rate_hz(self) -> float:
+        return self.rate_hz
+
+
+@dataclass(frozen=True)
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals at ``rate_hz`` -- independent camera check-ins."""
+
+    rate_hz: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate_hz)
+
+    def times(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+        return _poisson_times(self.rate_hz, _check_duration(duration_s), rng)
+
+    def mean_rate_hz(self) -> float:
+        return self.rate_hz
+
+
+@dataclass(frozen=True)
+class BurstTrain(ArrivalProcess):
+    """Periodic saturation bursts over a Poisson floor.
+
+    Each ``period_s`` window opens with a burst segment lasting
+    ``burst_fraction`` of the period at ``burst_rate_hz``, then relaxes
+    to ``base_rate_hz`` for the remainder -- a fleet of cameras tripping
+    on the same event, then going quiet.
+    """
+
+    base_rate_hz: float
+    burst_rate_hz: float
+    period_s: float
+    burst_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        _check_rate(self.base_rate_hz, "base_rate_hz")
+        _check_rate(self.burst_rate_hz, "burst_rate_hz")
+        if not self.period_s > 0:
+            raise ConfigurationError(
+                f"period_s must be positive, got {self.period_s!r}"
+            )
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ConfigurationError(
+                f"burst_fraction must lie in (0, 1), got {self.burst_fraction!r}"
+            )
+
+    def times(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+        duration_s = _check_duration(duration_s)
+        segments = []
+        start = 0.0
+        burst_len = self.period_s * self.burst_fraction
+        quiet_len = self.period_s - burst_len
+        while start < duration_s:
+            for rate, seg_len in (
+                (self.burst_rate_hz, burst_len),
+                (self.base_rate_hz, quiet_len),
+            ):
+                end = min(start + seg_len, duration_s)
+                if end > start:
+                    seg = _poisson_times(rate, end - start, rng)
+                    if seg.size:
+                        segments.append(seg + start)
+                start = end
+                if start >= duration_s:
+                    break
+        if not segments:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(segments)
+
+    def mean_rate_hz(self) -> float:
+        f = self.burst_fraction
+        return f * self.burst_rate_hz + (1.0 - f) * self.base_rate_hz
+
+
+@dataclass(frozen=True)
+class DiurnalRamp(ArrivalProcess):
+    """Sinusoidal day/night ramp between ``low_rate_hz`` and ``high_rate_hz``.
+
+    An inhomogeneous Poisson process sampled by thinning: candidates are
+    drawn at the peak rate and accepted with probability
+    ``rate(t) / high_rate_hz`` where the instantaneous rate starts at the
+    low point, peaks mid-``period_s``, and returns -- one compressed
+    "day" per period.  The natural soak-phase shape.
+    """
+
+    low_rate_hz: float
+    high_rate_hz: float
+    period_s: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.low_rate_hz, "low_rate_hz")
+        _check_rate(self.high_rate_hz, "high_rate_hz")
+        if self.high_rate_hz < self.low_rate_hz:
+            raise ConfigurationError(
+                "high_rate_hz must be >= low_rate_hz, got "
+                f"{self.high_rate_hz!r} < {self.low_rate_hz!r}"
+            )
+        if not self.period_s > 0:
+            raise ConfigurationError(
+                f"period_s must be positive, got {self.period_s!r}"
+            )
+
+    def rate_at(self, t: np.ndarray) -> np.ndarray:
+        swing = 0.5 - 0.5 * np.cos(2.0 * np.pi * np.asarray(t) / self.period_s)
+        return self.low_rate_hz + (self.high_rate_hz - self.low_rate_hz) * swing
+
+    def times(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+        duration_s = _check_duration(duration_s)
+        if self.high_rate_hz <= 0:
+            return np.empty(0, dtype=np.float64)
+        candidates = _poisson_times(self.high_rate_hz, duration_s, rng)
+        if not candidates.size:
+            return candidates
+        accept = rng.random(candidates.size) < (
+            self.rate_at(candidates) / self.high_rate_hz
+        )
+        return candidates[accept]
+
+    def mean_rate_hz(self) -> float:
+        return 0.5 * (self.low_rate_hz + self.high_rate_hz)
+
+
+class ZipfKeySampler:
+    """Zipf-skewed sampler over a finite signature pool.
+
+    Rank ``r`` (1-based) is drawn with probability proportional to
+    ``1 / r**exponent``; a seeded permutation maps ranks to pool indices
+    so *which* keys are hot depends on the seed, not on pool ordering.
+    Exponents slightly above 1.0 give the classic few-hot-keys skew that
+    lights up the dedup and LRU-eviction paths.
+    """
+
+    def __init__(
+        self,
+        pool_size: int,
+        exponent: float = 1.1,
+        *,
+        seed: SeedLike = None,
+    ):
+        if not pool_size > 0:
+            raise ConfigurationError(
+                f"pool_size must be a positive int, got {pool_size!r}"
+            )
+        if not exponent > 0:
+            raise ConfigurationError(
+                f"zipf exponent must be > 0, got {exponent!r}"
+            )
+        self.pool_size = int(pool_size)
+        self.exponent = float(exponent)
+        self._rng = as_generator(seed)
+        ranks = np.arange(1, self.pool_size + 1, dtype=np.float64)
+        pmf = ranks**-self.exponent
+        self._pmf = pmf / pmf.sum()
+        self._index_of_rank = self._rng.permutation(self.pool_size)
+
+    def draw(self, n: int) -> np.ndarray:
+        """Sample ``n`` pool indices; advances the sampler's own stream."""
+        if n < 0:
+            raise ConfigurationError(f"sample count must be >= 0, got {n!r}")
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        ranks = self._rng.choice(self.pool_size, size=int(n), p=self._pmf)
+        return self._index_of_rank[ranks].astype(np.int64)
+
+    def hot_keys(self, k: int = 5) -> np.ndarray:
+        """The ``k`` most probable pool indices, hottest first."""
+        k = max(0, min(int(k), self.pool_size))
+        return self._index_of_rank[:k].astype(np.int64)

@@ -1,0 +1,94 @@
+"""Human-readable rendering of an aggregated load run."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import DataError
+
+_COLUMNS = (
+    ("phase", 8),
+    ("wall s", 7),
+    ("offered", 8),
+    ("answered", 9),
+    ("rps", 8),
+    ("p50 ms", 8),
+    ("p99 ms", 8),
+    ("p999 ms", 8),
+    ("fill", 6),
+    ("shed%", 7),
+    ("dedup", 6),
+    ("churn", 12),
+)
+
+
+def _row(cells: list[str]) -> str:
+    return "  ".join(
+        str(cell).rjust(width) if index else str(cell).ljust(width)
+        for index, ((_, width), cell) in enumerate(zip(_COLUMNS, cells))
+    )
+
+
+def render_report(aggregate: dict[str, Any]) -> str:
+    """Render :func:`~repro.loadgen.aggregate.aggregate_run` output as text.
+
+    One table row per phase (service-side windowed stats merged with the
+    client-side accounting when present), a totals line, and the
+    zero-drop verdict.
+    """
+    phases = aggregate.get("phases")
+    if not phases:
+        raise DataError("aggregate has no phases to report")
+    lines = []
+    title = aggregate.get("spec", "run")
+    model = aggregate.get("model")
+    header = f"load report: spec={title}"
+    if model:
+        header += f" model={model}"
+    if "seed" in aggregate:
+        header += f" seed={aggregate['seed']}"
+    if "n_streams" in aggregate:
+        header += f" streams={aggregate['n_streams']}"
+    lines.append(header)
+    lines.append(_row([name for name, _ in _COLUMNS]))
+    for entry in phases:
+        client = entry.get("client", {})
+        latency = entry.get("latency_ms", {})
+        churn_parts = []
+        for key, tag in (("swaps", "sw"), ("evictions", "ev"), ("rollouts", "ro")):
+            count = client.get(key, 0)
+            if count:
+                churn_parts.append(f"{count}{tag}")
+        lines.append(
+            _row(
+                [
+                    str(entry.get("phase")),
+                    f"{entry.get('wall_s', 0.0):.2f}",
+                    str(client.get("offered", entry.get("requests", 0))),
+                    str(client.get("answered", entry.get("responses", 0))),
+                    f"{entry.get('throughput_rps', 0.0):.0f}",
+                    f"{latency.get('p50', 0.0):.2f}",
+                    f"{latency.get('p99', 0.0):.2f}",
+                    f"{latency.get('p999', 0.0):.2f}",
+                    f"{entry.get('batch_fill', 0.0):.2f}",
+                    f"{100.0 * entry.get('shed_rate', 0.0):.1f}",
+                    str(entry.get("dedup_hits", 0)),
+                    " ".join(churn_parts) or "-",
+                ]
+            )
+        )
+    totals = aggregate.get("totals")
+    if totals:
+        lines.append(
+            "totals: offered={offered} answered={answered} shed={shed} "
+            "failed={failed} unresolved={unresolved} swaps={swaps} "
+            "evictions={evictions} rollouts={rollouts}".format(**totals)
+        )
+        if totals.get("zero_drop", totals.get("unresolved", 1) == 0):
+            lines.append("zero-drop: OK (every submitted future went terminal)")
+        else:
+            lines.append(
+                f"zero-drop: VIOLATED ({totals.get('unresolved')} futures "
+                "never resolved)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,403 @@
+"""Open-loop workload runner against a live ``StreamingInferenceService``.
+
+:func:`run_workload` replays a :class:`~repro.loadgen.workload.WorkloadSpec`
+phase by phase.  Submits are scheduled by arrival time on a small pool of
+named daemon threads (stride-partitioned so each worker's slice stays
+time-ordered) -- the open-loop discipline: a slow service does not slow
+the offered load down, it sheds or queues, which is exactly what the
+benchmark wants to measure.  Events that fall behind schedule submit
+immediately, so measured throughput reflects service capacity rather
+than generator stalls.
+
+Soak-phase lifecycle churn (hot-swaps, evictions, rollout promote/demote
+cycles) runs on its own daemon thread at the schedule's deterministic
+offsets, against the same service the load is hitting.
+
+Accounting is exhaustive: every scheduled event ends in exactly one of
+``answered`` / ``shed`` / ``failed`` / ``unresolved``, and ``unresolved``
+(a future that never went terminal) is the zero-drop violation CI guards
+at saturation.  Metric snapshots are taken before the first phase and
+after each phase via the observability registry's consistent read path
+(:func:`~repro.obs.export.metrics_record` under the hood, or a
+:class:`~repro.obs.export.JsonlExporter` when one is supplied), giving
+``aggregate.py`` its N+1 records for N per-phase windows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    DataError,
+    DeadlineExceededError,
+    ResultTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.loadgen.workload import (
+    ACTION_EVICT,
+    ACTION_ROLLOUT,
+    ACTION_SWAP,
+    PhaseSchedule,
+    WorkloadSpec,
+    build_schedule,
+)
+from repro.obs.export import JsonlExporter, metrics_record
+
+
+@dataclass
+class PhaseResult:
+    """Client-side accounting for one executed phase."""
+
+    name: str
+    planned_duration_s: float
+    wall_s: float
+    offered: int
+    submitted: int
+    answered: int = 0
+    cached: int = 0
+    deduplicated: int = 0
+    shed: int = 0
+    failed: int = 0
+    unresolved: int = 0
+    swaps: int = 0
+    evictions: int = 0
+    rollouts: int = 0
+    victim_requests: int = 0
+
+    @property
+    def offered_rate_hz(self) -> float:
+        return self.offered / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.answered / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "phase": self.name,
+            "planned_duration_s": round(self.planned_duration_s, 6),
+            "wall_s": round(self.wall_s, 6),
+            "offered": self.offered,
+            "submitted": self.submitted,
+            "answered": self.answered,
+            "cached": self.cached,
+            "deduplicated": self.deduplicated,
+            "shed": self.shed,
+            "failed": self.failed,
+            "unresolved": self.unresolved,
+            "swaps": self.swaps,
+            "evictions": self.evictions,
+            "rollouts": self.rollouts,
+            "offered_rate_hz": round(self.offered_rate_hz, 3),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "shed_rate": round(self.shed_rate, 6),
+        }
+
+
+@dataclass
+class RunResult:
+    """Everything one :func:`run_workload` call produced."""
+
+    spec: WorkloadSpec
+    model: str
+    phases: list[PhaseResult] = field(default_factory=list)
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def unresolved(self) -> int:
+        return sum(phase.unresolved for phase in self.phases)
+
+    @property
+    def zero_drop(self) -> bool:
+        """True when every future (including soak churn) went terminal."""
+        return self.unresolved == 0
+
+
+def _snapshot(
+    service,
+    exporter: Optional[JsonlExporter],
+    clock: Callable[[], float],
+    extra: dict[str, Any],
+) -> dict[str, Any]:
+    if exporter is not None:
+        return exporter.export(
+            service.obs.registry, events=service.obs.events, extra=extra
+        )
+    record: dict[str, Any] = {
+        "ts": float(clock()),
+        "metrics": metrics_record(service.obs.registry),
+    }
+    record.update(extra)
+    return record
+
+
+def _run_lifecycle(
+    service,
+    schedule: PhaseSchedule,
+    model: str,
+    swap_source: Callable[[], Any],
+    signatures: np.ndarray,
+    start_s: float,
+    clock: Callable[[], float],
+    result: PhaseResult,
+    victim_futures: list,
+    errors: list,
+) -> None:
+    """Fire the phase's swap/evict/rollout actions at their offsets.
+
+    Any failure (service errors and broken swap_source callables alike)
+    is collected into ``errors`` and re-raised by the phase runner after
+    the drain -- a dead lifecycle thread must fail the run loudly, never
+    leave it silently churn-free.
+    """
+    for offset, kind in schedule.actions:
+        delay = start_s + offset - clock()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            if kind == ACTION_SWAP:
+                service.swap_model(model, swap_source())
+                result.swaps += 1
+            elif kind == ACTION_EVICT:
+                victim = f"{model}-victim-{result.evictions}"
+                service.register_model(victim, swap_source())
+                for row in signatures[:8]:
+                    try:
+                        victim_futures.append(
+                            service.submit(row, model=victim)
+                        )
+                    except ServiceError:
+                        result.victim_requests += 1  # refused pre-queue
+                service.evict_model(victim)
+                result.evictions += 1
+            elif kind == ACTION_ROLLOUT:
+                manager = service.enable_rollouts()
+                manager.begin(model, swap_source())
+                # Alternate the two exits so soak exercises both the
+                # promote path (snapshot banked in the rollback ring) and
+                # the demote path (drain then evict) under live load.
+                if result.rollouts % 2 == 0:
+                    manager.promote(model)
+                else:
+                    manager.demote(model, reason="loadgen-cycle")
+                result.rollouts += 1
+        except BaseException as exc:  # surfaced after the phase drains
+            errors.append((kind, exc))
+
+
+def _run_phase(
+    service,
+    schedule: PhaseSchedule,
+    signatures: np.ndarray,
+    model: str,
+    swap_source: Optional[Callable[[], Any]],
+    submit_workers: int,
+    result_timeout_s: float,
+    clock: Callable[[], float],
+) -> PhaseResult:
+    phase = schedule.phase
+    n = schedule.n_events
+    result = PhaseResult(
+        name=phase.name,
+        planned_duration_s=phase.duration_s,
+        wall_s=0.0,
+        offered=n,
+        submitted=0,
+    )
+    futures: list = [None] * n
+    offsets = schedule.offsets_s
+    keys = schedule.key_indices
+    streams = schedule.stream_indices
+    worker_counts = [
+        {"submitted": 0, "shed": 0, "failed": 0} for _ in range(submit_workers)
+    ]
+    start_s = clock()
+
+    def submit_slice(w: int) -> None:
+        counts = worker_counts[w]
+        for i in range(w, n, submit_workers):
+            delay = start_s + offsets[i] - clock()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                futures[i] = service.submit(
+                    signatures[keys[i]],
+                    model=model,
+                    stream_id=f"cam-{streams[i]:04d}",
+                )
+                counts["submitted"] += 1
+            except ServiceOverloadedError:
+                counts["shed"] += 1  # open loop: no client retry
+            except ServiceError:
+                counts["failed"] += 1
+
+    threads = [
+        threading.Thread(
+            target=submit_slice,
+            args=(w,),
+            name=f"loadgen-submit-{w}",
+            daemon=True,
+        )
+        for w in range(submit_workers)
+    ]
+    victim_futures: list = []
+    lifecycle_errors: list = []
+    if schedule.actions:
+        threads.append(
+            threading.Thread(
+                target=_run_lifecycle,
+                args=(
+                    service,
+                    schedule,
+                    model,
+                    swap_source,
+                    signatures,
+                    start_s,
+                    clock,
+                    result,
+                    victim_futures,
+                    lifecycle_errors,
+                ),
+                name="loadgen-lifecycle",
+                daemon=True,
+            )
+        )
+    for thread in threads:
+        thread.start()
+    join_deadline = phase.duration_s + result_timeout_s
+    for thread in threads:
+        thread.join(timeout=join_deadline)
+        if thread.is_alive():
+            raise ResultTimeoutError(
+                f"loadgen thread {thread.name!r} still running "
+                f"{join_deadline:.1f}s after phase {phase.name!r} began"
+            )
+    for counts in worker_counts:
+        result.submitted += counts["submitted"]
+        result.shed += counts["shed"]
+        result.failed += counts["failed"]
+    # Wall clock covers the offered window (all submits + lifecycle
+    # churn), not the post-hoc drain below -- throughput is answered
+    # requests over the time load was actually offered.
+    result.wall_s = max(clock() - start_s, 1e-9)
+
+    # Drain: every admitted future must go terminal.  Anything that does
+    # not is `unresolved` -- the zero-drop violation.
+    for future in futures:
+        if future is None:
+            continue
+        try:
+            response = future.result(timeout=result_timeout_s)
+        except ResultTimeoutError:
+            result.unresolved += 1
+            continue
+        except (ServiceOverloadedError, DeadlineExceededError):
+            result.shed += 1
+            continue
+        except ServiceError:
+            result.failed += 1
+            continue
+        result.answered += 1
+        if response.cached:
+            result.cached += 1
+        if response.deduplicated:
+            result.deduplicated += 1
+    for future in victim_futures:
+        try:
+            future.result(timeout=result_timeout_s)
+        except ResultTimeoutError:
+            result.unresolved += 1
+            continue
+        except ServiceError:
+            pass  # ModelEvictedError et al: terminal, which is the contract
+        result.victim_requests += 1
+    if lifecycle_errors:
+        kind, exc = lifecycle_errors[0]
+        raise ServiceError(
+            f"lifecycle action {kind!r} failed during phase "
+            f"{phase.name!r}: {exc}"
+        ) from exc
+    return result
+
+
+def run_workload(
+    service,
+    spec: WorkloadSpec,
+    signatures: np.ndarray,
+    *,
+    model: str,
+    swap_source: Optional[Callable[[], Any]] = None,
+    exporter: Optional[JsonlExporter] = None,
+    submit_workers: int = 4,
+    result_timeout_s: float = 30.0,
+    clock: Callable[[], float] = time.perf_counter,
+) -> RunResult:
+    """Replay ``spec`` against ``service``; returns accounting + snapshots.
+
+    ``signatures`` is the 2-D signature pool (rows are what the Zipf
+    sampler indexes).  ``swap_source`` is a zero-argument callable
+    returning a registrable model (fitted classifier or snapshot); it is
+    required whenever the spec schedules lifecycle actions -- swaps use
+    it as the replacement, evictions register-and-evict a throwaway
+    victim built from it, rollout cycles shadow it as the candidate.
+
+    The service must already be started; the caller keeps ownership of
+    its lifetime.  ``records`` holds ``len(phases) + 1`` metric
+    snapshots (one before the first phase, one after each), each tagged
+    with ``phase`` / ``wall_s`` / ``submitted`` extras -- the direct
+    input to :func:`repro.loadgen.aggregate.aggregate_run`.
+    """
+    signatures = np.asarray(signatures)
+    if signatures.ndim != 2 or signatures.shape[0] == 0:
+        raise DataError(
+            "signature pool must be a non-empty 2-D array, got shape "
+            f"{signatures.shape}"
+        )
+    if submit_workers < 1:
+        raise ConfigurationError(
+            f"submit_workers must be >= 1, got {submit_workers!r}"
+        )
+    if spec.lifecycle_actions and swap_source is None:
+        raise ConfigurationError(
+            f"workload {spec.name!r} schedules lifecycle actions; "
+            "run_workload needs swap_source= to supply replacement models"
+        )
+    schedules = build_schedule(spec, pool_size=signatures.shape[0])
+    run = RunResult(spec=spec, model=model)
+    run.records.append(_snapshot(service, exporter, clock, {"phase": None}))
+    for schedule in schedules:
+        phase_result = _run_phase(
+            service,
+            schedule,
+            signatures,
+            model,
+            swap_source,
+            submit_workers,
+            result_timeout_s,
+            clock,
+        )
+        run.phases.append(phase_result)
+        run.records.append(
+            _snapshot(
+                service,
+                exporter,
+                clock,
+                {
+                    "phase": phase_result.name,
+                    "wall_s": phase_result.wall_s,
+                    "submitted": phase_result.submitted,
+                },
+            )
+        )
+    return run

@@ -1,0 +1,230 @@
+"""Workload specs: phased load shapes with lifecycle churn baked in.
+
+A :class:`WorkloadSpec` is the declarative unit the harness runs and the
+benchmark commits: an ordered tuple of :class:`Phase` entries (warmup ->
+steady -> burst -> soak), each owning an arrival process and, for soak
+phases, counts of lifecycle actions (hot-swaps, evictions, rollout
+promote/demote cycles) to fire mid-load.
+
+:func:`build_schedule` lowers a spec to concrete per-phase arrays --
+submit offsets, Zipf key indices, simulated-stream assignments, and
+lifecycle action offsets.  Determinism: one ``numpy.random.SeedSequence``
+rooted at ``spec.seed`` is spawned into independent child streams per
+phase, and each phase spawns separate children for arrivals, keys, and
+stream assignment.  Consuming more randomness in one phase (or one
+purpose) therefore never shifts another's draws, and the same seed
+reproduces the schedule bit-for-bit.
+
+Streams here are *simulated* camera identities stamped on requests as
+``stream_id`` strings -- hundreds to thousands of them cost nothing,
+because the runner schedules submits on a small thread pool rather than
+one thread per stream (``repro.serve.streams`` remains the closed-loop,
+thread-per-stream client).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.loadgen.arrivals import (
+    ArrivalProcess,
+    BurstTrain,
+    ConstantRate,
+    PoissonProcess,
+    ZipfKeySampler,
+)
+
+#: Lifecycle action kinds a soak phase can schedule.
+ACTION_SWAP = "swap"
+ACTION_EVICT = "evict"
+ACTION_ROLLOUT = "rollout"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One contiguous load segment: a name, a duration, an arrival shape.
+
+    ``hot_swaps`` / ``evictions`` / ``rollouts`` schedule that many
+    lifecycle actions at evenly spaced offsets inside the phase (a soak
+    phase proves the zero-drop contract *while* models churn).
+    """
+
+    name: str
+    duration_s: float
+    arrival: ArrivalProcess
+    hot_swaps: int = 0
+    evictions: int = 0
+    rollouts: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("phase name must be a non-empty string")
+        if not self.duration_s > 0:
+            raise ConfigurationError(
+                f"phase {self.name!r} duration must be positive, "
+                f"got {self.duration_s!r}"
+            )
+        if not isinstance(self.arrival, ArrivalProcess):
+            raise ConfigurationError(
+                f"phase {self.name!r} arrival must be an ArrivalProcess, "
+                f"got {type(self.arrival).__name__}"
+            )
+        for label, count in (
+            ("hot_swaps", self.hot_swaps),
+            ("evictions", self.evictions),
+            ("rollouts", self.rollouts),
+        ):
+            if count < 0:
+                raise ConfigurationError(
+                    f"phase {self.name!r} {label} must be >= 0, got {count!r}"
+                )
+
+    @property
+    def lifecycle_actions(self) -> int:
+        return self.hot_swaps + self.evictions + self.rollouts
+
+    def action_offsets(self) -> tuple[tuple[float, str], ...]:
+        """Deterministic (offset_s, kind) pairs, evenly spaced, sorted."""
+        actions: list[tuple[float, str]] = []
+        for kind, count in (
+            (ACTION_SWAP, self.hot_swaps),
+            (ACTION_EVICT, self.evictions),
+            (ACTION_ROLLOUT, self.rollouts),
+        ):
+            for k in range(count):
+                offset = self.duration_s * (k + 1) / (count + 1)
+                actions.append((offset, kind))
+        actions.sort(key=lambda pair: (pair[0], pair[1]))
+        return tuple(actions)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, seeded sequence of phases plus the traffic population."""
+
+    name: str
+    phases: tuple[Phase, ...]
+    n_streams: int = 8
+    zipf_exponent: float = 1.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("workload name must be a non-empty string")
+        object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.phases:
+            raise ConfigurationError(
+                f"workload {self.name!r} must declare at least one phase"
+            )
+        names = [phase.name for phase in self.phases]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"workload {self.name!r} phase names must be unique, got {names}"
+            )
+        if not self.n_streams > 0:
+            raise ConfigurationError(
+                f"n_streams must be positive, got {self.n_streams!r}"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        return sum(phase.duration_s for phase in self.phases)
+
+    @property
+    def lifecycle_actions(self) -> int:
+        return sum(phase.lifecycle_actions for phase in self.phases)
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """A phase lowered to concrete arrays the runner replays."""
+
+    phase: Phase
+    offsets_s: np.ndarray = field(repr=False)
+    key_indices: np.ndarray = field(repr=False)
+    stream_indices: np.ndarray = field(repr=False)
+    actions: tuple[tuple[float, str], ...] = ()
+
+    @property
+    def n_events(self) -> int:
+        return int(self.offsets_s.size)
+
+
+def build_schedule(spec: WorkloadSpec, pool_size: int) -> list[PhaseSchedule]:
+    """Lower ``spec`` to per-phase submit schedules over a signature pool.
+
+    ``pool_size`` is the number of distinct signatures available;
+    ``key_indices`` index into that pool with the spec's Zipf skew.
+    Bit-identical output for identical ``(spec, pool_size)``.
+    """
+    if not pool_size > 0:
+        raise ConfigurationError(
+            f"pool_size must be a positive int, got {pool_size!r}"
+        )
+    root = np.random.SeedSequence(spec.seed)
+    schedules: list[PhaseSchedule] = []
+    for phase, child in zip(spec.phases, root.spawn(len(spec.phases))):
+        arrival_seq, key_seq, stream_seq = child.spawn(3)
+        offsets = np.sort(
+            phase.arrival.times(phase.duration_s, np.random.default_rng(arrival_seq))
+        )
+        sampler = ZipfKeySampler(
+            pool_size,
+            spec.zipf_exponent,
+            seed=np.random.default_rng(key_seq),
+        )
+        keys = sampler.draw(offsets.size)
+        stream_rng = np.random.default_rng(stream_seq)
+        streams = stream_rng.integers(0, spec.n_streams, size=offsets.size)
+        schedules.append(
+            PhaseSchedule(
+                phase=phase,
+                offsets_s=offsets,
+                key_indices=keys,
+                stream_indices=streams.astype(np.int64),
+                actions=phase.action_offsets(),
+            )
+        )
+    return schedules
+
+
+def built_in_specs() -> dict[str, "WorkloadSpec"]:
+    """Small named specs for demos and smoke tests.
+
+    * ``demo`` -- warmup then a saturating burst train with one mid-load
+      hot-swap (the ``examples/streaming_service.py --load demo`` shape).
+    * ``smoke`` -- one short steady phase, for fast tests.
+    """
+    return {
+        "demo": WorkloadSpec(
+            name="demo",
+            n_streams=64,
+            zipf_exponent=1.2,
+            seed=2026,
+            phases=(
+                Phase("warmup", duration_s=0.4, arrival=ConstantRate(200.0)),
+                Phase(
+                    "burst",
+                    duration_s=0.9,
+                    arrival=BurstTrain(
+                        base_rate_hz=200.0,
+                        burst_rate_hz=1500.0,
+                        period_s=0.3,
+                        burst_fraction=0.4,
+                    ),
+                    hot_swaps=1,
+                ),
+            ),
+        ),
+        "smoke": WorkloadSpec(
+            name="smoke",
+            n_streams=8,
+            seed=7,
+            phases=(
+                Phase("steady", duration_s=0.3, arrival=PoissonProcess(200.0)),
+            ),
+        ),
+    }

@@ -44,6 +44,7 @@ from repro.obs.export import (
     parse_prometheus,
     read_jsonl,
     render_prometheus,
+    windowed_deltas,
     write_prometheus,
 )
 from repro.obs.metrics import (
@@ -134,5 +135,6 @@ __all__ = [
     "read_jsonl",
     "render_prometheus",
     "parse_prometheus",
+    "windowed_deltas",
     "write_prometheus",
 ]

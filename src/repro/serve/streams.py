@@ -95,12 +95,23 @@ class SimulatedCameraStream:
 
 @dataclass
 class StreamReport:
-    """What one simulated camera saw from the service."""
+    """What one simulated camera saw from the service.
+
+    ``latencies_s[i]`` is the client-observed wall-clock latency of
+    ``responses[i]`` -- the frame's first submit attempt to result
+    delivery, including backpressure backoff and any shed-batch
+    resubmits in between -- so a slow stream
+    (high latencies) is distinguishable from a shedding one
+    (``shed_frames`` > 0, counted when a frame exhausts its retry budget
+    at submit or resubmit time and is dropped).
+    """
 
     stream_id: str
     responses: list[ClassificationResponse] = field(default_factory=list)
     true_labels: list[int] = field(default_factory=list)
     backpressure_retries: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    shed_frames: int = 0
 
     @property
     def accuracy(self) -> float:
@@ -117,6 +128,17 @@ class StreamReport:
     @property
     def cache_hits(self) -> int:
         return sum(1 for response in self.responses if response.cached)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean client-observed latency (0.0 before any response)."""
+        if not self.latencies_s:
+            return 0.0
+        return sum(self.latencies_s) / len(self.latencies_s)
+
+    @property
+    def max_latency_s(self) -> float:
+        return max(self.latencies_s, default=0.0)
 
 
 def drive_streams(
@@ -138,7 +160,9 @@ def drive_streams(
     shard queue was full.  The client backs off for
     ``backpressure_retry_s`` and retries, up to ``max_retries`` times per
     frame, after which the frame is dropped -- load shedding, exactly what
-    the backpressure contract asks of callers.
+    the backpressure contract asks of callers.  Dropped frames are counted
+    in ``StreamReport.shed_frames``; delivered responses carry their
+    client-observed wall-clock latency in ``StreamReport.latencies_s``.
     """
     reports = [StreamReport(stream_id=stream.stream_id) for stream in streams]
     errors: list[BaseException] = []
@@ -159,10 +183,14 @@ def drive_streams(
         try:
             futures = []
             for signature, truth in stream.frames():
+                submitted_at = time.perf_counter()
                 future = submit_with_retry(stream, report, signature)
                 if future is not None:
-                    futures.append((future, signature, truth))
-            for future, signature, truth in futures:
+                    futures.append((future, signature, truth, submitted_at))
+                else:
+                    report.shed_frames += 1  # submit retry budget exhausted
+            for future, signature, truth, submitted_at in futures:
+                delivered = False
                 for _ in range(max_retries + 1):
                     try:
                         response = future.result(timeout)
@@ -176,7 +204,13 @@ def drive_streams(
                     else:
                         report.responses.append(response)
                         report.true_labels.append(truth)
+                        report.latencies_s.append(
+                            max(0.0, time.perf_counter() - submitted_at)
+                        )
+                        delivered = True
                         break
+                if not delivered:
+                    report.shed_frames += 1  # dropped mid-resubmit
         except BaseException as error:  # surfaced to the caller below
             errors.append(error)
 

@@ -1,0 +1,479 @@
+"""Tests for the fleet-scale load harness (:mod:`repro.loadgen`).
+
+Covers the determinism contract (same seed => bit-identical submit
+schedule and Zipf key sequence; distinct phases draw from independently
+spawned RNG streams), arrival-process shapes and validation, workload
+spec validation, aggregation over synthetic snapshot records, report
+rendering, and a small end-to-end run against a live service with a
+mid-load hot-swap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.loadgen import (
+    BurstTrain,
+    ConstantRate,
+    DiurnalRamp,
+    Phase,
+    PoissonProcess,
+    WorkloadSpec,
+    ZipfKeySampler,
+    aggregate_records,
+    aggregate_run,
+    build_schedule,
+    built_in_specs,
+    phase_named,
+    render_report,
+    run_workload,
+)
+from repro.serve import ServiceConfig, StreamingInferenceService
+
+
+# --------------------------------------------------------------------- #
+# Arrival processes
+# --------------------------------------------------------------------- #
+class TestArrivalProcesses:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            ConstantRate(100.0),
+            PoissonProcess(100.0),
+            BurstTrain(
+                base_rate_hz=50.0,
+                burst_rate_hz=400.0,
+                period_s=0.5,
+                burst_fraction=0.3,
+            ),
+            DiurnalRamp(20.0, 200.0, period_s=1.0),
+        ],
+        ids=["constant", "poisson", "burst", "diurnal"],
+    )
+    def test_offsets_sorted_and_in_range(self, process):
+        rng = np.random.default_rng(42)
+        offsets = process.times(2.0, rng)
+        assert offsets.size > 0
+        assert np.all(offsets >= 0.0) and np.all(offsets < 2.0)
+        assert np.all(np.diff(offsets) >= 0.0)
+        assert process.mean_rate_hz() > 0
+
+    @pytest.mark.parametrize(
+        "process",
+        [
+            PoissonProcess(500.0),
+            BurstTrain(
+                base_rate_hz=100.0,
+                burst_rate_hz=1000.0,
+                period_s=0.4,
+                burst_fraction=0.5,
+            ),
+            DiurnalRamp(50.0, 500.0, period_s=0.8),
+        ],
+        ids=["poisson", "burst", "diurnal"],
+    )
+    def test_same_generator_state_is_bit_identical(self, process):
+        a = process.times(1.5, np.random.default_rng(7))
+        b = process.times(1.5, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_constant_rate_spacing(self):
+        offsets = ConstantRate(100.0).times(1.0, np.random.default_rng(0))
+        assert offsets.size == 100
+        np.testing.assert_allclose(np.diff(offsets), 0.01)
+
+    def test_poisson_rate_roughly_respected(self):
+        offsets = PoissonProcess(1000.0).times(4.0, np.random.default_rng(3))
+        assert offsets.size == pytest.approx(4000, rel=0.15)
+
+    def test_burst_concentrates_arrivals(self):
+        process = BurstTrain(
+            base_rate_hz=50.0,
+            burst_rate_hz=2000.0,
+            period_s=1.0,
+            burst_fraction=0.25,
+        )
+        offsets = process.times(1.0, np.random.default_rng(5))
+        in_burst = np.count_nonzero(offsets < 0.25)
+        assert in_burst > 0.8 * offsets.size
+
+    def test_diurnal_peaks_mid_period(self):
+        process = DiurnalRamp(10.0, 1000.0, period_s=2.0)
+        offsets = process.times(2.0, np.random.default_rng(9))
+        mid = np.count_nonzero((offsets > 0.5) & (offsets < 1.5))
+        assert mid > 0.6 * offsets.size
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantRate(-1.0)
+        with pytest.raises(ConfigurationError):
+            BurstTrain(
+                base_rate_hz=1.0,
+                burst_rate_hz=2.0,
+                period_s=0.0,
+                burst_fraction=0.5,
+            )
+        with pytest.raises(ConfigurationError):
+            BurstTrain(
+                base_rate_hz=1.0,
+                burst_rate_hz=2.0,
+                period_s=1.0,
+                burst_fraction=1.5,
+            )
+        with pytest.raises(ConfigurationError):
+            DiurnalRamp(10.0, 5.0, period_s=1.0)
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(10.0).times(0.0, np.random.default_rng(0))
+
+
+class TestZipfKeySampler:
+    def test_same_seed_identical_sequence(self):
+        a = ZipfKeySampler(100, 1.1, seed=5).draw(500)
+        b = ZipfKeySampler(100, 1.1, seed=5).draw(500)
+        np.testing.assert_array_equal(a, b)
+
+    def test_hot_keys_dominate(self):
+        sampler = ZipfKeySampler(200, 1.2, seed=1)
+        draws = sampler.draw(4000)
+        hot = set(sampler.hot_keys(5).tolist())
+        hot_fraction = sum(1 for key in draws if int(key) in hot) / draws.size
+        assert hot_fraction > 0.25  # 5/200 = 2.5% of keys take >25% of traffic
+
+    def test_seed_permutes_which_keys_are_hot(self):
+        hot_a = ZipfKeySampler(500, 1.1, seed=1).hot_keys(3).tolist()
+        hot_b = ZipfKeySampler(500, 1.1, seed=2).hot_keys(3).tolist()
+        assert hot_a != hot_b
+
+    def test_draws_stay_in_pool(self):
+        draws = ZipfKeySampler(7, 1.0, seed=0).draw(200)
+        assert draws.min() >= 0 and draws.max() < 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfKeySampler(0)
+        with pytest.raises(ConfigurationError):
+            ZipfKeySampler(10, exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            ZipfKeySampler(10).draw(-1)
+
+
+# --------------------------------------------------------------------- #
+# Workload specs and schedules
+# --------------------------------------------------------------------- #
+def _two_phase_spec(seed: int = 11) -> WorkloadSpec:
+    return WorkloadSpec(
+        name="t",
+        seed=seed,
+        n_streams=16,
+        phases=(
+            Phase("steady", duration_s=0.5, arrival=PoissonProcess(400.0)),
+            Phase(
+                "soak",
+                duration_s=0.5,
+                arrival=PoissonProcess(400.0),
+                hot_swaps=2,
+                evictions=1,
+                rollouts=1,
+            ),
+        ),
+    )
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Phase("", 1.0, ConstantRate(1.0))
+        with pytest.raises(ConfigurationError):
+            Phase("p", -1.0, ConstantRate(1.0))
+        with pytest.raises(ConfigurationError):
+            Phase("p", 1.0, "not-a-process")
+        with pytest.raises(ConfigurationError):
+            Phase("p", 1.0, ConstantRate(1.0), hot_swaps=-1)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="w", phases=())
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                name="w",
+                phases=(
+                    Phase("a", 1.0, ConstantRate(1.0)),
+                    Phase("a", 1.0, ConstantRate(1.0)),
+                ),
+            )
+
+    def test_action_offsets_even_and_sorted(self):
+        phase = Phase(
+            "soak", 1.0, ConstantRate(1.0), hot_swaps=2, evictions=1
+        )
+        actions = phase.action_offsets()
+        assert len(actions) == 3
+        offsets = [offset for offset, _ in actions]
+        assert offsets == sorted(offsets)
+        assert all(0.0 < offset < 1.0 for offset in offsets)
+        assert phase.lifecycle_actions == 3
+
+    def test_built_in_specs_validate(self):
+        specs = built_in_specs()
+        assert "demo" in specs and "smoke" in specs
+        demo = specs["demo"]
+        assert demo.phases[-1].hot_swaps == 1
+        for spec in specs.values():
+            schedules = build_schedule(spec, pool_size=50)
+            assert len(schedules) == len(spec.phases)
+
+
+class TestScheduleDeterminism:
+    """The determinism satellite: seeded, spawned, replayable schedules."""
+
+    def test_same_seed_identical_schedule_and_keys(self):
+        a = build_schedule(_two_phase_spec(seed=11), pool_size=100)
+        b = build_schedule(_two_phase_spec(seed=11), pool_size=100)
+        for sa, sb in zip(a, b):
+            np.testing.assert_array_equal(sa.offsets_s, sb.offsets_s)
+            np.testing.assert_array_equal(sa.key_indices, sb.key_indices)
+            np.testing.assert_array_equal(sa.stream_indices, sb.stream_indices)
+            assert sa.actions == sb.actions
+
+    def test_different_seed_different_schedule(self):
+        a = build_schedule(_two_phase_spec(seed=11), pool_size=100)
+        b = build_schedule(_two_phase_spec(seed=12), pool_size=100)
+        assert a[0].offsets_s.size != b[0].offsets_s.size or not np.array_equal(
+            a[0].offsets_s, b[0].offsets_s
+        )
+
+    def test_phases_draw_from_independent_streams(self):
+        # Changing phase 1's arrival process (consuming a different amount
+        # of randomness) must not perturb phase 2's draws: each phase owns
+        # an independently spawned SeedSequence child, not a shared cursor.
+        base = _two_phase_spec(seed=11)
+        modified = WorkloadSpec(
+            name="t",
+            seed=11,
+            n_streams=16,
+            phases=(
+                Phase("steady", duration_s=0.5, arrival=ConstantRate(10.0)),
+                base.phases[1],
+            ),
+        )
+        schedule_base = build_schedule(base, pool_size=100)
+        schedule_modified = build_schedule(modified, pool_size=100)
+        np.testing.assert_array_equal(
+            schedule_base[1].offsets_s, schedule_modified[1].offsets_s
+        )
+        np.testing.assert_array_equal(
+            schedule_base[1].key_indices, schedule_modified[1].key_indices
+        )
+        np.testing.assert_array_equal(
+            schedule_base[1].stream_indices, schedule_modified[1].stream_indices
+        )
+
+    def test_arrival_key_and_stream_draws_are_independent(self):
+        # Within a phase, keys/streams come from their own spawned
+        # children: two specs whose phases differ only in arrival shape
+        # draw identical stream assignments for equal event counts.
+        spec_a = WorkloadSpec(
+            name="t",
+            seed=3,
+            phases=(Phase("p", duration_s=1.0, arrival=ConstantRate(100.0)),),
+        )
+        spec_b = WorkloadSpec(
+            name="t",
+            seed=3,
+            phases=(Phase("p", duration_s=2.0, arrival=ConstantRate(50.0)),),
+        )
+        a = build_schedule(spec_a, pool_size=40)[0]
+        b = build_schedule(spec_b, pool_size=40)[0]
+        assert a.n_events == b.n_events == 100
+        np.testing.assert_array_equal(a.key_indices, b.key_indices)
+        np.testing.assert_array_equal(a.stream_indices, b.stream_indices)
+
+    def test_stream_indices_cover_population(self):
+        schedule = build_schedule(_two_phase_spec(), pool_size=100)[0]
+        assert schedule.stream_indices.min() >= 0
+        assert schedule.stream_indices.max() < 16
+        assert len(set(schedule.stream_indices.tolist())) > 8
+
+    def test_pool_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            build_schedule(_two_phase_spec(), pool_size=0)
+
+
+# --------------------------------------------------------------------- #
+# Aggregation and reporting over synthetic records
+# --------------------------------------------------------------------- #
+def _synthetic_records():
+    def record(phase, requests, responses, shed, bucket_count, wall=None):
+        buckets = {"0.001": bucket_count, "0.01": bucket_count, "+Inf": bucket_count}
+        metrics = {
+            "serve_requests_total": requests,
+            "serve_responses_total": responses,
+            "serve_backpressure_rejections_total": shed,
+            "serve_batches_total": responses // 4,
+            "serve_batch_fill_fraction_sum": responses / 8.0,
+            "serve_dedup_hits_total": 2,
+            "serve_cache_hits_total": 5,
+            "serve_model_swaps_total": 0,
+            "serve_shard_queue_depth{model=m,shard=0}": 3,
+            "serve_request_latency_seconds": {
+                "buckets": buckets,
+                "sum": bucket_count * 0.0005,
+                "count": bucket_count,
+                "p50": 0.0005,
+                "p99": 0.001,
+                "p999": 0.001,
+            },
+        }
+        entry = {"ts": 0.0, "metrics": metrics}
+        if phase is not None:
+            entry["phase"] = phase
+            entry["wall_s"] = wall
+        return entry
+
+    return [
+        record(None, 0, 0, 0, 0),
+        record("steady", 100, 100, 0, 100, wall=1.0),
+        record("burst", 350, 300, 50, 300, wall=0.5),
+    ]
+
+
+class TestAggregation:
+    def test_per_phase_windows(self):
+        aggregate = aggregate_records(_synthetic_records())
+        steady = phase_named(aggregate, "steady")
+        burst = phase_named(aggregate, "burst")
+        assert steady["requests"] == 100
+        assert steady["throughput_rps"] == pytest.approx(100.0)
+        assert steady["shed"] == 0
+        assert burst["requests"] == 250
+        assert burst["responses"] == 200
+        assert burst["throughput_rps"] == pytest.approx(400.0)
+        assert burst["shed"] == 50
+        assert burst["shed_rate"] == pytest.approx(50 / 300, abs=1e-6)
+        assert burst["queue_depth"] == {"model=m,shard=0": 3}
+        assert burst["latency_ms"]["p50"] > 0.0
+        assert burst["batches"] == 50
+
+    def test_needs_two_records(self):
+        with pytest.raises(DataError):
+            aggregate_records(_synthetic_records()[:1])
+
+    def test_report_renders_every_phase(self):
+        aggregate = aggregate_records(_synthetic_records())
+        aggregate["spec"] = "synthetic"
+        text = render_report(aggregate)
+        assert "steady" in text and "burst" in text
+        assert "synthetic" in text
+
+    def test_report_requires_phases(self):
+        with pytest.raises(DataError):
+            render_report({"phases": []})
+
+
+# --------------------------------------------------------------------- #
+# End to end against a live service
+# --------------------------------------------------------------------- #
+class TestRunWorkload:
+    @pytest.fixture()
+    def service(self, trained_bsom_classifier):
+        config = ServiceConfig(
+            batch_size=8, max_delay_ms=2.0, n_shards=2, cache_capacity=128
+        )
+        service = StreamingInferenceService(config=config)
+        service.register_model("m", trained_bsom_classifier)
+        with service:
+            yield service
+
+    def test_small_run_accounts_for_every_event(self, service, cluster_data):
+        X, _ = cluster_data
+        spec = WorkloadSpec(
+            name="tiny",
+            seed=5,
+            n_streams=32,
+            phases=(Phase("steady", duration_s=0.3, arrival=PoissonProcess(300.0)),),
+        )
+        run = run_workload(service, spec, X, model="m")
+        assert run.zero_drop
+        (phase,) = run.phases
+        assert phase.offered > 0
+        assert phase.answered + phase.shed + phase.failed == phase.offered
+        assert len(run.records) == 2
+        aggregate = aggregate_run(run)
+        assert aggregate["totals"]["zero_drop"] is True
+        entry = phase_named(aggregate, "steady")
+        assert entry["client"]["offered"] == phase.offered
+        assert "steady" in render_report(aggregate)
+
+    def test_soak_runs_lifecycle_actions(
+        self, service, cluster_data, trained_csom_classifier
+    ):
+        X, _ = cluster_data
+        spec = WorkloadSpec(
+            name="churn",
+            seed=9,
+            n_streams=16,
+            phases=(
+                Phase(
+                    "soak",
+                    duration_s=0.5,
+                    arrival=PoissonProcess(300.0),
+                    hot_swaps=1,
+                    evictions=1,
+                    rollouts=2,
+                ),
+            ),
+        )
+        run = run_workload(
+            service, spec, X, model="m", swap_source=lambda: trained_bsom_copy(service)
+        )
+        assert run.zero_drop
+        (phase,) = run.phases
+        assert phase.swaps == 1
+        assert phase.evictions == 1
+        assert phase.rollouts == 2
+        assert phase.victim_requests > 0
+        aggregate = aggregate_run(run)
+        assert aggregate["totals"]["swaps"] == 1
+        assert aggregate["totals"]["rollouts"] == 2
+
+    def test_lifecycle_actions_require_swap_source(self, service, cluster_data):
+        X, _ = cluster_data
+        spec = WorkloadSpec(
+            name="churn",
+            seed=9,
+            phases=(
+                Phase(
+                    "soak",
+                    duration_s=0.2,
+                    arrival=ConstantRate(10.0),
+                    hot_swaps=1,
+                ),
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            run_workload(service, spec, X, model="m")
+
+    def test_rejects_bad_pool(self, service):
+        spec = built_in_specs()["smoke"]
+        with pytest.raises(DataError):
+            run_workload(service, spec, np.empty((0, 8)), model="m")
+
+    def test_exporter_records_match_in_memory(
+        self, service, cluster_data, tmp_path
+    ):
+        from repro.obs import JsonlExporter, read_jsonl
+
+        X, _ = cluster_data
+        spec = built_in_specs()["smoke"]
+        exporter = JsonlExporter(tmp_path / "load.jsonl")
+        run = run_workload(service, spec, X, model="m", exporter=exporter)
+        on_disk = read_jsonl(tmp_path / "load.jsonl")
+        assert len(on_disk) == len(run.records) == len(spec.phases) + 1
+        assert on_disk[-1]["phase"] == spec.phases[-1].name
+
+
+def trained_bsom_copy(service):
+    """A snapshot of the live model -- a valid swap/candidate source."""
+    from repro import api
+
+    return api.snapshot(service.registry.classifier("m"))

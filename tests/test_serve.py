@@ -29,6 +29,7 @@ from repro.serve import (
     SignatureLruCache,
     SimulatedCameraStream,
     StreamingInferenceService,
+    StreamReport,
     drive_streams,
 )
 from repro.serve.request import ClassificationRequest, PendingResult
@@ -495,3 +496,64 @@ class TestPendingResult:
         pending.set_exception(ValueError("boom"))
         with pytest.raises(ValueError):
             pending.result(0.1)
+
+
+class TestStreamReportLatencyAndShed:
+    """The drive_streams satellite: per-response latency + shed accounting."""
+
+    def test_latencies_recorded_per_response(self, trained_bsom_classifier, cluster_data):
+        X, y = cluster_data
+        service = StreamingInferenceService(
+            config=ServiceConfig(batch_size=8, max_delay_ms=2.0, n_shards=2)
+        )
+        service.register_model("m", trained_bsom_classifier)
+        with service:
+            streams = [
+                SimulatedCameraStream(f"cam-{i}", X, y, n_frames=30, seed=i)
+                for i in range(3)
+            ]
+            reports = drive_streams(service, streams, model="m")
+        for report in reports:
+            assert len(report.latencies_s) == len(report.responses) == 30
+            assert all(latency >= 0.0 for latency in report.latencies_s)
+            assert report.shed_frames == 0
+            assert report.max_latency_s >= report.mean_latency_s > 0.0
+
+    def test_shed_frames_counted_when_retry_budget_exhausts(
+        self, trained_bsom_classifier, cluster_data
+    ):
+        X, y = cluster_data
+        # One-slot pending budget and a long batching delay: while the first
+        # frame sits in its micro-batch window, every subsequent submit is
+        # refused -- and with max_retries=0 each refusal drops the frame.
+        service = StreamingInferenceService(
+            config=ServiceConfig(
+                batch_size=64,
+                max_delay_ms=100.0,
+                n_shards=1,
+                max_pending=1,
+                cache_capacity=0,
+            )
+        )
+        service.register_model("m", trained_bsom_classifier)
+        with service:
+            streams = [
+                SimulatedCameraStream("cam-0", X, y, n_frames=20, seed=3)
+            ]
+            reports = drive_streams(
+                service,
+                streams,
+                model="m",
+                backpressure_retry_s=0.0005,
+                max_retries=0,
+            )
+        report = reports[0]
+        # Every frame ended exactly once: delivered with a latency or shed.
+        assert len(report.responses) + report.shed_frames == 20
+        assert report.shed_frames > 0
+        assert len(report.latencies_s) == len(report.responses)
+
+    def test_empty_report_latency_properties(self):
+        report = StreamReport(stream_id="cam-x")
+        assert report.mean_latency_s == 0.0
+        assert report.max_latency_s == 0.0
